@@ -1,0 +1,349 @@
+(* obda — command-line front end: classify ontologies, export the paper's
+   graphs, rewrite queries, and compute certain answers. *)
+
+open Tgd_logic
+open Cmdliner
+
+let load_document path =
+  match Tgd_parser.Parser.parse_file path with
+  | Ok doc -> doc
+  | Error e ->
+    Format.eprintf "parse error: %a@." Tgd_parser.Parser.pp_error e;
+    exit 2
+
+let load_program path =
+  let doc = load_document path in
+  match Tgd_parser.Parser.program_of_document ~name:(Filename.basename path) doc with
+  | Ok p -> (p, doc)
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 2
+
+let instance_of_document (doc : Tgd_parser.Parser.document) =
+  Tgd_db.Instance.of_atoms doc.Tgd_parser.Parser.facts
+
+(* Facts from the ontology file, optionally merged with CSV data files. *)
+let load_instance doc data_files =
+  let inst = instance_of_document doc in
+  List.iter
+    (fun path ->
+      match Tgd_db.Csv_io.load_file path with
+      | Error msg ->
+        Format.eprintf "%s: %s@." path msg;
+        exit 2
+      | Ok extra ->
+        Tgd_db.Instance.iter_facts
+          (fun (pred, t) -> ignore (Tgd_db.Instance.add_fact inst pred t))
+          extra)
+    data_files;
+  inst
+
+let data_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "d"; "data" ] ~docv:"CSV"
+        ~doc:"Extra facts from a CSV file (predicate,arg1,arg2,...); repeatable.")
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                            *)
+
+let classify_cmd =
+  let run path verbose =
+    let p, _ = load_program path in
+    if verbose then print_string (Tgd_core.Explain.describe p)
+    else begin
+      let report = Tgd_core.Classifier.classify p in
+      Tgd_core.Classifier.pp Format.std_formatter report;
+      match Tgd_core.Classifier.fo_rewritable_witness report with
+      | Some cls -> Format.printf "=> FO-rewritable (witness: %s)@." cls
+      | None -> Format.printf "=> FO-rewritability not established by any implemented class@."
+    end
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print dangerous-cycle witnesses.")
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Run every TGD-class membership test on an ontology file.")
+    Term.(const run $ path $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* patterns                                                            *)
+
+let patterns_cmd =
+  let run path max_cqs =
+    let p, _ = load_program path in
+    let config = { Tgd_rewrite.Rewrite.default_config with max_cqs } in
+    Format.printf "%-28s %s@." "pattern (b=bound, u=free)" "rewriting";
+    List.iter
+      (fun (pat, status) ->
+        Format.printf "%-28s %s@."
+          (Format.asprintf "%a" Tgd_core.Query_pattern.pp pat)
+          (match status with
+          | Tgd_core.Query_pattern.Terminates n -> Printf.sprintf "terminates (%d disjuncts)" n
+          | Tgd_core.Query_pattern.Diverges why -> "diverges (" ^ why ^ ")"))
+      (Tgd_core.Query_pattern.analyze_all ~config p)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let max_cqs =
+    Arg.(value & opt int 2_000 & info [ "max-cqs" ] ~doc:"Rewriting budget per pattern.")
+  in
+  Cmd.v
+    (Cmd.info "patterns"
+       ~doc:
+         "Per-query-pattern FO-rewritability: which atomic query shapes terminate even when the \
+          whole set of TGDs is intractable.")
+    Term.(const run $ path $ max_cqs)
+
+(* ------------------------------------------------------------------ *)
+(* graph                                                               *)
+
+let graph_cmd =
+  let run path kind output =
+    let p, _ = load_program path in
+    let dot =
+      match kind with
+      | "position" -> Tgd_core.Position_graph.G.to_dot ~name:p.Program.name (Tgd_core.Position_graph.build p)
+      | "pnode" ->
+        let r = Tgd_core.P_node_graph.build p in
+        if not r.Tgd_core.P_node_graph.complete then
+          Format.eprintf "warning: node budget hit; graph truncated@.";
+        Tgd_core.P_node_graph.G.to_dot ~name:p.Program.name r.Tgd_core.P_node_graph.graph
+      | other ->
+        Format.eprintf "unknown graph kind %S (expected position or pnode)@." other;
+        exit 2
+    in
+    match output with
+    | None -> print_string dot
+    | Some file ->
+      let oc = open_out file in
+      output_string oc dot;
+      close_out oc;
+      Format.printf "wrote %s@." file
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let kind =
+    Arg.(value & opt string "position" & info [ "k"; "kind" ] ~doc:"Graph kind: position or pnode.")
+  in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.dot") in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Export the position graph or the P-node graph in Graphviz format.")
+    Term.(const run $ path $ kind $ output)
+
+(* ------------------------------------------------------------------ *)
+(* rewrite                                                             *)
+
+let rewrite_cmd =
+  let run path sql max_cqs =
+    let p, doc = load_program path in
+    if doc.Tgd_parser.Parser.queries = [] then begin
+      Format.eprintf "no queries in %s (add lines like: q(X) :- person(X).)@." path;
+      exit 2
+    end;
+    let config = { Tgd_rewrite.Rewrite.default_config with max_cqs } in
+    List.iter
+      (fun q ->
+        let r = Tgd_rewrite.Rewrite.ucq ~config p q in
+        Format.printf "%% query %s: %d disjunct(s), %s@." q.Cq.name
+          (List.length r.Tgd_rewrite.Rewrite.ucq)
+          (match r.Tgd_rewrite.Rewrite.outcome with
+          | Tgd_rewrite.Rewrite.Complete -> "complete rewriting"
+          | Tgd_rewrite.Rewrite.Truncated why -> "TRUNCATED (" ^ why ^ ")");
+        if sql then
+          match r.Tgd_rewrite.Rewrite.ucq with
+          | [] -> Format.printf "-- empty rewriting: no SQL@."
+          | ucq -> Format.printf "%s;@." (Tgd_db.Sql.of_ucq ucq)
+        else begin
+          Cq.pp_ucq Format.std_formatter r.Tgd_rewrite.Rewrite.ucq;
+          Format.printf "@."
+        end)
+      doc.Tgd_parser.Parser.queries
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let sql = Arg.(value & flag & info [ "sql" ] ~doc:"Print SQL instead of Datalog syntax.") in
+  let max_cqs =
+    Arg.(value & opt int 20_000 & info [ "max-cqs" ] ~doc:"Budget on generated CQs.")
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Compute the UCQ (or SQL) rewriting of each query in the file.")
+    Term.(const run $ path $ sql $ max_cqs)
+
+(* ------------------------------------------------------------------ *)
+(* answer                                                              *)
+
+let answer_cmd =
+  let run path method_ data_files =
+    let p, doc = load_program path in
+    let inst = load_instance doc data_files in
+    let answer_by_rewriting q =
+      let r = Tgd_rewrite.Rewrite.ucq p q in
+      ( Tgd_db.Eval.ucq inst r.Tgd_rewrite.Rewrite.ucq
+        |> List.filter (fun t -> not (Tgd_db.Tuple.has_null t)),
+        match r.Tgd_rewrite.Rewrite.outcome with
+        | Tgd_rewrite.Rewrite.Complete -> true
+        | Tgd_rewrite.Rewrite.Truncated _ -> false )
+    in
+    let answer_by_chase q =
+      let r = Tgd_chase.Certain.cq p inst q in
+      (r.Tgd_chase.Certain.answers, r.Tgd_chase.Certain.exact)
+    in
+    let print_answers q answers exact =
+      Format.printf "%s: %d certain answer(s)%s@." q.Cq.name (List.length answers)
+        (if exact then "" else " [budget hit: lower bound]");
+      List.iter (fun t -> Format.printf "  %a@." Tgd_db.Tuple.pp t) answers
+    in
+    List.iter
+      (fun q ->
+        match method_ with
+        | "rewriting" ->
+          let a, exact = answer_by_rewriting q in
+          print_answers q a exact
+        | "chase" ->
+          let a, exact = answer_by_chase q in
+          print_answers q a exact
+        | _ ->
+          let a1, e1 = answer_by_rewriting q in
+          let a2, e2 = answer_by_chase q in
+          print_answers q a1 (e1 && e2);
+          if not (List.length a1 = List.length a2 && List.for_all2 Tgd_db.Tuple.equal a1 a2) then
+            Format.printf "  WARNING: rewriting (%d) and chase (%d) disagree@." (List.length a1)
+              (List.length a2))
+      doc.Tgd_parser.Parser.queries
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let method_ =
+    Arg.(value & opt string "both" & info [ "m"; "method" ] ~doc:"rewriting, chase, or both.")
+  in
+  Cmd.v
+    (Cmd.info "answer"
+       ~doc:"Compute certain answers to the queries in the file over its facts.")
+    Term.(const run $ path $ method_ $ data_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chase                                                               *)
+
+let chase_cmd =
+  let run path max_rounds max_facts print_facts data_files =
+    let p, doc = load_program path in
+    let inst = load_instance doc data_files in
+    let stats = Tgd_chase.Chase.run ~max_rounds ~max_facts p inst in
+    Format.printf "chase: %s after %d round(s); +%d fact(s), %d null(s), %d trigger(s) fired@."
+      (match stats.Tgd_chase.Chase.outcome with
+      | Tgd_chase.Chase.Terminated -> "terminated"
+      | Tgd_chase.Chase.Budget_exhausted -> "budget exhausted")
+      stats.Tgd_chase.Chase.rounds stats.Tgd_chase.Chase.new_facts stats.Tgd_chase.Chase.nulls
+      stats.Tgd_chase.Chase.triggers_fired;
+    if print_facts then Format.printf "%a@." Tgd_db.Instance.pp inst
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let max_rounds = Arg.(value & opt int 1_000 & info [ "max-rounds" ]) in
+  let max_facts = Arg.(value & opt int 1_000_000 & info [ "max-facts" ]) in
+  let print_facts = Arg.(value & flag & info [ "facts" ] ~doc:"Print the chased instance.") in
+  Cmd.v
+    (Cmd.info "chase" ~doc:"Materialize the facts of the file under its TGDs.")
+    Term.(const run $ path $ max_rounds $ max_facts $ print_facts $ data_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check: consistency against negative constraints                     *)
+
+let check_cmd =
+  let run path =
+    let p, doc = load_program path in
+    match doc.Tgd_parser.Parser.constraints with
+    | [] -> Format.printf "no negative constraints in %s (add: body -> falsum.)@." path
+    | ncs ->
+      let inst = instance_of_document doc in
+      let constraints =
+        List.map (fun (name, body) -> Tgd_obda.Constraints.make ~name body) ncs
+      in
+      let verdict = Tgd_obda.Constraints.check p constraints inst in
+      if verdict.Tgd_obda.Constraints.consistent then
+        Format.printf "consistent (%d constraint(s) checked%s)@." (List.length constraints)
+          (if verdict.Tgd_obda.Constraints.complete then "" else "; rewriting budget hit")
+      else begin
+        Format.printf "INCONSISTENT:@.";
+        List.iter
+          (fun viol ->
+            Format.printf "  constraint %s violated through %a@."
+              viol.Tgd_obda.Constraints.constraint_.Tgd_obda.Constraints.name Cq.pp
+              viol.Tgd_obda.Constraints.witness)
+          verdict.Tgd_obda.Constraints.violations;
+        exit 1
+      end
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check the facts against the file's negative constraints (body -> falsum).")
+    Term.(const run $ path)
+
+(* ------------------------------------------------------------------ *)
+(* approx: Section-7 interval answers for intractable ontologies       *)
+
+let approx_cmd =
+  let run path =
+    let p, doc = load_program path in
+    if doc.Tgd_parser.Parser.queries = [] then begin
+      Format.eprintf "no queries in %s@." path;
+      exit 2
+    end;
+    let inst = instance_of_document doc in
+    let subset, removed = Tgd_obda.Approximation.wr_subset p in
+    Format.printf "WR subset: %d/%d rules kept" (Program.size subset) (Program.size p);
+    if removed <> [] then
+      Format.printf " (removed: %s)"
+        (String.concat ", " (List.map (fun (r : Tgd.t) -> r.Tgd.name) removed));
+    Format.printf "@.";
+    List.iter
+      (fun q ->
+        let itv = Tgd_obda.Approximation.interval_answers p inst q in
+        Format.printf "@.%s: %d certain (sound lower bound), %d possible (complete upper bound)%s@."
+          q.Cq.name
+          (List.length itv.Tgd_obda.Approximation.lower)
+          (List.length itv.Tgd_obda.Approximation.upper)
+          (if itv.Tgd_obda.Approximation.exact then " — exact" else "");
+        List.iter (fun t -> Format.printf "  certain  %a@." Tgd_db.Tuple.pp t)
+          itv.Tgd_obda.Approximation.lower;
+        List.iter
+          (fun t ->
+            if not (List.exists (Tgd_db.Tuple.equal t) itv.Tgd_obda.Approximation.lower) then
+              Format.printf "  possible %a@." Tgd_db.Tuple.pp t)
+          itv.Tgd_obda.Approximation.upper)
+      doc.Tgd_parser.Parser.queries
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "approx"
+       ~doc:
+         "Bracket certain answers for ontologies outside the tractable classes: a sound lower \
+          bound via a WR subset and a complete upper bound via Datalog relaxation.")
+    Term.(const run $ path)
+
+(* ------------------------------------------------------------------ *)
+(* examples                                                            *)
+
+let examples_cmd =
+  let run () =
+    let show p =
+      Format.printf "%% %s@.%s@." p.Program.name (Tgd_parser.Printer.program_to_string p)
+    in
+    show Tgd_core.Paper_examples.example1;
+    show Tgd_core.Paper_examples.example2;
+    show Tgd_core.Paper_examples.example3;
+    show Tgd_gen.University.ontology
+  in
+  Cmd.v
+    (Cmd.info "examples" ~doc:"Print the paper's examples and the university ontology.")
+    Term.(const run $ const ())
+
+let main =
+  let info =
+    Cmd.info "obda" ~version:"1.0.0"
+      ~doc:"Query answering over ontologies specified via database dependencies (SIGMOD'14 reproduction)."
+  in
+  Cmd.group info
+    [
+      classify_cmd; graph_cmd; rewrite_cmd; answer_cmd; chase_cmd; check_cmd; approx_cmd;
+      patterns_cmd; examples_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

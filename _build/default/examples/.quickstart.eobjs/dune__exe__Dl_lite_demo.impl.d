@@ -1,0 +1,1 @@
+examples/dl_lite_demo.ml: Format List Printf Tgd_core Tgd_gen Tgd_logic Tgd_parser Tgd_rewrite

@@ -1,0 +1,1 @@
+examples/dl_lite_demo.mli:

@@ -1,0 +1,1 @@
+examples/obda_pipeline.ml: Approximation Atom Constraints Cq Format List Mapping Obda_system Program String Term Tgd Tgd_core Tgd_db Tgd_gen Tgd_logic Tgd_obda

@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Classifier Format List P_node_graph Paper_examples Position Position_graph Printf Swr Tgd_core Tgd_logic Tgd_rewrite Wr

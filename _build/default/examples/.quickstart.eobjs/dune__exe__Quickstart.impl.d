@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cq Fmt Format List Tgd_chase Tgd_core Tgd_db Tgd_logic Tgd_parser Tgd_rewrite

@@ -1,0 +1,1 @@
+examples/university_demo.ml: Array Eval Format Instance List Sys Tgd_chase Tgd_core Tgd_db Tgd_gen Tgd_logic Tgd_rewrite Tuple Unix

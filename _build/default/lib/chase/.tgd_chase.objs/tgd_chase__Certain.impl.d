@@ -1,0 +1,1 @@
+lib/chase/certain.ml: Chase Eval Instance List Tgd_db Tuple

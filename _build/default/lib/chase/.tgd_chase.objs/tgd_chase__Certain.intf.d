@@ -1,0 +1,1 @@
+lib/chase/certain.mli: Chase Cq Instance Program Tgd_db Tgd_logic Tuple

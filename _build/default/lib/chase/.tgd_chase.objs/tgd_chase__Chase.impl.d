@@ -1,0 +1,1 @@
+lib/chase/chase.ml: Hashtbl Instance List Null_gen Option String Symbol Tgd_db Tgd_logic Trigger Tuple

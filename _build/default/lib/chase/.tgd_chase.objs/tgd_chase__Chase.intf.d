@@ -1,0 +1,1 @@
+lib/chase/chase.mli: Instance Program Tgd_db Tgd_logic

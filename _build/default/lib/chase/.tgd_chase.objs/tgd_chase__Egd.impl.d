@@ -1,0 +1,1 @@
+lib/chase/egd.ml: Atom Format List Printf Symbol Term Tgd_logic

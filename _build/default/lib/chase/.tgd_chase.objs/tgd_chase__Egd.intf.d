@@ -1,0 +1,1 @@
+lib/chase/egd.mli: Atom Format Symbol Tgd_logic

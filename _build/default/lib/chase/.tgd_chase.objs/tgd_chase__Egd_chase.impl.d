@@ -1,0 +1,1 @@
+lib/chase/egd_chase.ml: Array Chase Egd Eval Format Instance List Symbol Tgd_db Tgd_logic Value

@@ -1,0 +1,1 @@
+lib/chase/egd_chase.mli: Chase Egd Format Instance Tgd_db Tgd_logic Value

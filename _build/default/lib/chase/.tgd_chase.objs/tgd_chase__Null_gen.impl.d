@@ -1,0 +1,1 @@
+lib/chase/null_gen.ml: Tgd_db

@@ -1,0 +1,1 @@
+lib/chase/null_gen.mli: Tgd_db

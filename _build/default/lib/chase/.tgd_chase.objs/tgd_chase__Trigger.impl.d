@@ -1,0 +1,1 @@
+lib/chase/trigger.ml: Array Atom Eval List Null_gen Program Symbol Term Tgd Tgd_db Tgd_logic Value

@@ -1,0 +1,1 @@
+lib/chase/trigger.mli: Eval Instance Null_gen Program Symbol Tgd Tgd_db Tgd_logic Tuple

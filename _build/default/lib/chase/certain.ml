@@ -1,0 +1,16 @@
+open Tgd_db
+
+type result = {
+  answers : Tuple.t list;
+  exact : bool;
+  chase : Chase.stats;
+}
+
+let ucq ?variant ?max_rounds ?max_facts program inst disjuncts =
+  let work = Instance.copy inst in
+  let chase = Chase.run ?variant ?max_rounds ?max_facts program work in
+  let answers = Eval.ucq work disjuncts |> List.filter (fun t -> not (Tuple.has_null t)) in
+  { answers; exact = chase.Chase.outcome = Chase.Terminated; chase }
+
+let cq ?variant ?max_rounds ?max_facts program inst q =
+  ucq ?variant ?max_rounds ?max_facts program inst [ q ]

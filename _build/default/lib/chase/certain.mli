@@ -1,0 +1,36 @@
+(** Certain answers by materialization: chase the data with the TGDs and
+    evaluate the query, keeping only null-free answer tuples.
+
+    This is the reference semantics [cert(q, P, D)] of Section 3 whenever
+    the chase terminates; it cross-checks the rewriting engine in tests and
+    benchmarks. *)
+
+open Tgd_logic
+open Tgd_db
+
+type result = {
+  answers : Tuple.t list;  (** null-free, deduplicated, sorted *)
+  exact : bool;  (** [true] iff the chase reached a fixpoint *)
+  chase : Chase.stats;
+}
+
+val ucq :
+  ?variant:Chase.variant ->
+  ?max_rounds:int ->
+  ?max_facts:int ->
+  Program.t ->
+  Instance.t ->
+  Cq.ucq ->
+  result
+(** The input instance is not modified (the chase runs on a copy). When
+    [exact] is false the answers are a sound under-approximation of the
+    certain answers. *)
+
+val cq :
+  ?variant:Chase.variant ->
+  ?max_rounds:int ->
+  ?max_facts:int ->
+  Program.t ->
+  Instance.t ->
+  Cq.t ->
+  result

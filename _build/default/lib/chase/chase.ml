@@ -1,0 +1,74 @@
+open Tgd_logic
+open Tgd_db
+
+type variant =
+  | Oblivious
+  | Restricted
+
+type outcome =
+  | Terminated
+  | Budget_exhausted
+
+type stats = {
+  outcome : outcome;
+  rounds : int;
+  new_facts : int;
+  nulls : int;
+  triggers_fired : int;
+}
+
+module Key_table = Hashtbl.Make (struct
+  type t = string * Tuple.t
+
+  let equal (n1, t1) (n2, t2) = String.equal n1 n2 && Tuple.equal t1 t2
+  let hash (n, t) = (Hashtbl.hash n * 31) + Tuple.hash t
+end)
+
+let run ?(variant = Restricted) ?(max_rounds = 1_000) ?(max_facts = 1_000_000) program inst =
+  let gen = Null_gen.create () in
+  let fired : unit Key_table.t = Key_table.create 256 in
+  let new_facts = ref 0 in
+  let triggers_fired = ref 0 in
+  let rounds = ref 0 in
+  let outcome = ref Terminated in
+  let budget_ok () = Instance.cardinality inst <= max_facts && !rounds < max_rounds in
+  let apply_trigger ~delta_out tr =
+    let k = Trigger.key tr in
+    if not (Key_table.mem fired k) then begin
+      Key_table.add fired k ();
+      let fire () =
+        incr triggers_fired;
+        List.iter
+          (fun (pred, t) ->
+            if Instance.add_fact inst pred t then begin
+              incr new_facts;
+              let existing = Option.value ~default:[] (Symbol.Table.find_opt delta_out pred) in
+              Symbol.Table.replace delta_out pred (t :: existing)
+            end)
+          (Trigger.head_facts tr gen)
+      in
+      match variant with
+      | Oblivious -> fire ()
+      | Restricted -> if not (Trigger.is_satisfied tr inst) then fire ()
+    end
+  in
+  let round delta =
+    let delta_out : Tuple.t list Symbol.Table.t = Symbol.Table.create 16 in
+    let triggers = Trigger.find_new program inst ~delta in
+    List.iter (apply_trigger ~delta_out) triggers;
+    delta_out
+  in
+  let delta = ref (round None) in
+  rounds := 1;
+  while Symbol.Table.length !delta > 0 && budget_ok () do
+    delta := round (Some !delta);
+    incr rounds
+  done;
+  if Symbol.Table.length !delta > 0 then outcome := Budget_exhausted;
+  {
+    outcome = !outcome;
+    rounds = !rounds;
+    new_facts = !new_facts;
+    nulls = Null_gen.count gen;
+    triggers_fired = !triggers_fired;
+  }

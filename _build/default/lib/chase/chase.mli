@@ -1,0 +1,40 @@
+(** The chase: saturate an instance with the TGDs, inventing labeled nulls
+    for existential head variables.
+
+    Both the oblivious chase (fire every trigger once) and the restricted
+    a.k.a. standard chase (fire only triggers whose head is not already
+    satisfied) are provided. The chase proceeds in breadth-first rounds,
+    which makes it fair: every trigger is eventually considered, so when the
+    run terminates the result is a universal model of [(P, D)] and certain
+    answers coincide with the null-free answers over it. For non-terminating
+    inputs the run stops when a budget is exhausted, yielding a sound
+    under-approximation. *)
+
+open Tgd_logic
+open Tgd_db
+
+type variant =
+  | Oblivious
+  | Restricted
+
+type outcome =
+  | Terminated  (** fixpoint reached: the instance is a universal model *)
+  | Budget_exhausted  (** a budget stopped the run first *)
+
+type stats = {
+  outcome : outcome;
+  rounds : int;
+  new_facts : int;
+  nulls : int;
+  triggers_fired : int;
+}
+
+val run :
+  ?variant:variant ->
+  ?max_rounds:int ->
+  ?max_facts:int ->
+  Program.t ->
+  Instance.t ->
+  stats
+(** Mutates the instance. Defaults: [Restricted], [max_rounds = 1_000],
+    [max_facts = 1_000_000]. *)

@@ -1,0 +1,94 @@
+open Tgd_logic
+open Tgd_db
+
+type violation = {
+  egd : Egd.t;
+  v1 : Value.t;
+  v2 : Value.t;
+}
+
+let pp_violation ppf viol =
+  Format.fprintf ppf "EGD %s equates distinct constants %a and %a" viol.egd.Egd.name Value.pp
+    viol.v1 Value.pp viol.v2
+
+(* Replace every occurrence of [from_] by [to_] in the instance. *)
+let substitute inst ~from_ ~to_ =
+  let fresh = Instance.create () in
+  Instance.iter_facts
+    (fun (pred, t) ->
+      let t' = Array.map (fun v -> if Value.equal v from_ then to_ else v) t in
+      ignore (Instance.add_fact fresh pred t'))
+    inst;
+  fresh
+
+exception Hard of violation
+exception Merge of Value.t * Value.t (* from_, to_ *)
+
+(* Find one applicable EGD step: a violation to merge or a hard failure. *)
+let find_step egds inst =
+  try
+    List.iter
+      (fun (egd : Egd.t) ->
+        Eval.bindings inst egd.Egd.body (fun env ->
+            let value v =
+              match Symbol.Map.find_opt v env with Some value -> value | None -> assert false
+            in
+            let l = value egd.Egd.left and r = value egd.Egd.right in
+            if not (Value.equal l r) then
+              match l, r with
+              | Value.Null _, _ -> raise (Merge (l, r))
+              | _, Value.Null _ -> raise (Merge (r, l))
+              | Value.Const _, Value.Const _ -> raise (Hard { egd; v1 = l; v2 = r })))
+      egds;
+    `Stable
+  with
+  | Merge (from_, to_) -> `Merge (from_, to_)
+  | Hard v -> `Hard v
+
+let saturate egds inst =
+  let rec loop inst merges =
+    match find_step egds inst with
+    | `Stable -> Ok (inst, merges)
+    | `Hard v -> Error v
+    | `Merge (from_, to_) -> loop (substitute inst ~from_ ~to_) (merges + 1)
+  in
+  loop (Instance.copy inst) 0
+
+type outcome = {
+  instance : Instance.t;
+  chase : Chase.stats;
+  merges : int;
+  consistent : bool;
+  violation : violation option;
+}
+
+let add_stats (a : Chase.stats) (b : Chase.stats) =
+  {
+    Chase.outcome =
+      (if a.Chase.outcome = Chase.Budget_exhausted then a.Chase.outcome else b.Chase.outcome);
+    rounds = a.Chase.rounds + b.Chase.rounds;
+    new_facts = a.Chase.new_facts + b.Chase.new_facts;
+    nulls = a.Chase.nulls + b.Chase.nulls;
+    triggers_fired = a.Chase.triggers_fired + b.Chase.triggers_fired;
+  }
+
+let run ?variant ?max_rounds ?max_facts ?(max_iterations = 20) ~tgds ~egds inst =
+  let zero =
+    { Chase.outcome = Chase.Terminated; rounds = 0; new_facts = 0; nulls = 0; triggers_fired = 0 }
+  in
+  let rec loop inst stats merges k =
+    let step_stats = Chase.run ?variant ?max_rounds ?max_facts tgds inst in
+    let stats = add_stats stats step_stats in
+    match saturate egds inst with
+    | Error v -> { instance = inst; chase = stats; merges; consistent = false; violation = Some v }
+    | Ok (merged, 0) ->
+      { instance = merged; chase = stats; merges; consistent = true; violation = None }
+    | Ok (merged, m) ->
+      if k >= max_iterations then
+        { instance = merged; chase = stats; merges = merges + m; consistent = true; violation = None }
+      else loop merged stats (merges + m) (k + 1)
+  in
+  loop (Instance.copy inst) zero 0 1
+
+let check_consistency ?max_rounds ?max_facts ~tgds ~egds inst =
+  (run ?max_rounds ?max_facts ~tgds ~egds inst).consistent

@@ -1,0 +1,50 @@
+(** Chasing with EGDs: merge equated labeled nulls, detect hard violations.
+
+    Under the Unique Name Assumption (Section 3 of the paper), equating two
+    distinct constants is a hard failure — the data is inconsistent with the
+    dependencies. Equating a labeled null with anything merges the two
+    values across the instance. *)
+
+open Tgd_db
+
+type violation = {
+  egd : Egd.t;
+  v1 : Value.t;
+  v2 : Value.t;  (** the two distinct constants that were equated *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val saturate : Egd.t list -> Instance.t -> (Instance.t * int, violation) result
+(** Apply the EGDs to a fixpoint. Returns the rewritten instance (the input
+    is not mutated) and the number of merges performed, or the first hard
+    violation. *)
+
+type outcome = {
+  instance : Instance.t;
+  chase : Chase.stats;  (** accumulated TGD-chase statistics *)
+  merges : int;
+  consistent : bool;
+  violation : violation option;
+}
+
+val run :
+  ?variant:Chase.variant ->
+  ?max_rounds:int ->
+  ?max_facts:int ->
+  ?max_iterations:int ->
+  tgds:Tgd_logic.Program.t ->
+  egds:Egd.t list ->
+  Instance.t ->
+  outcome
+(** The combined chase: alternate TGD saturation and EGD merging until both
+    are stable (at most [max_iterations] alternations, default 20), starting
+    from a copy of the input. With [consistent = false] the [violation]
+    explains the failure; answers computed over an inconsistent instance are
+    meaningless. *)
+
+val check_consistency :
+  ?max_rounds:int -> ?max_facts:int -> tgds:Tgd_logic.Program.t -> egds:Egd.t list -> Instance.t -> bool
+(** DL-Lite_F-style consistency: the data + TGDs violate no EGD. (For
+    separable dependencies this is the only role EGDs play in query
+    answering.) *)

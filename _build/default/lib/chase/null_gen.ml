@@ -1,0 +1,9 @@
+type t = { mutable counter : int }
+
+let create () = { counter = 0 }
+
+let next g =
+  g.counter <- g.counter + 1;
+  Tgd_db.Value.Null g.counter
+
+let count g = g.counter

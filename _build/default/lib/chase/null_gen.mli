@@ -1,0 +1,8 @@
+(** Generator of fresh labeled nulls, one per chase run, so that chase
+    results are reproducible independently of other runs in the process. *)
+
+type t
+
+val create : unit -> t
+val next : t -> Tgd_db.Value.t
+val count : t -> int

@@ -1,0 +1,30 @@
+(** Chase triggers: a rule together with a homomorphism from its body into
+    the current instance. *)
+
+open Tgd_logic
+open Tgd_db
+
+type t = {
+  rule : Tgd.t;
+  env : Eval.env;  (** assignment of the body variables *)
+}
+
+val key : t -> string * Tuple.t
+(** A hashable identity for the trigger: the rule name and the frontier
+    assignment in sorted-variable order. Two triggers with equal keys fire
+    the same head instantiation (up to null naming), so the oblivious chase
+    fires one of them. *)
+
+val is_satisfied : t -> Instance.t -> bool
+(** Restricted-chase activity test: [true] iff the head is already satisfied,
+    i.e. the frontier assignment extends to a homomorphism of the head into
+    the instance. *)
+
+val head_facts : t -> Null_gen.t -> (Symbol.t * Tuple.t) list
+(** Instantiate the head: frontier variables from the environment,
+    existential head variables by fresh nulls (one per variable, shared
+    across the head atoms). *)
+
+val find_new : Program.t -> Instance.t -> delta:Tuple.t list Symbol.Table.t option -> t list
+(** All triggers of the program on the instance; with [delta], only triggers
+    whose body uses at least one delta fact (semi-naive discovery). *)

@@ -1,0 +1,1 @@
+lib/classes/datalog_class.ml: List Program Symbol Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/classes/datalog_class.mli: Program Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/classes/domain_restricted.ml: Atom List Program Symbol Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/classes/domain_restricted.mli: Program Tgd Tgd_logic

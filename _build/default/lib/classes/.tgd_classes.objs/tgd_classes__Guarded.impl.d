@@ -1,0 +1,1 @@
+lib/classes/guarded.ml: Atom List Program Symbol Tgd Tgd_logic

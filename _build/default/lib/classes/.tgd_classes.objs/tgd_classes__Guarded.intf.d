@@ -1,0 +1,1 @@
+lib/classes/guarded.mli: Program Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/classes/linear.ml: List Program Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/classes/linear.mli: Program Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/classes/multilinear.ml: Atom List Program Symbol Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/classes/multilinear.mli: Program Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/classes/rule_dependency.ml: Array Cq Hashtbl List Program Tgd Tgd_graph Tgd_logic Tgd_rewrite

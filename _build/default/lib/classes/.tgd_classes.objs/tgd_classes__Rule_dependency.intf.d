@@ -1,0 +1,1 @@
+lib/classes/rule_dependency.mli: Program Tgd Tgd_logic

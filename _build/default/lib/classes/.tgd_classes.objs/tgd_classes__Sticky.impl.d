@@ -1,0 +1,1 @@
+lib/classes/sticky.ml: Array Atom Hashtbl Int List Option Program Symbol Term Tgd Tgd_logic

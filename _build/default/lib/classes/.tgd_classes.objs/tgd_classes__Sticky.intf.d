@@ -1,0 +1,1 @@
+lib/classes/sticky.mli: Program Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/classes/weakly_acyclic.ml: Array Atom Hashtbl List Program Symbol Tgd Tgd_graph Tgd_logic

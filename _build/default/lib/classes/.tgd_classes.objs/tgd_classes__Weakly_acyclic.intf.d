@@ -1,0 +1,1 @@
+lib/classes/weakly_acyclic.mli: Program Symbol Tgd_logic

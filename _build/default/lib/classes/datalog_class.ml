@@ -1,0 +1,4 @@
+open Tgd_logic
+
+let rule_ok r = Symbol.Set.is_empty (Tgd.existential_head_vars r)
+let check p = List.for_all rule_ok (Program.tgds p)

@@ -1,0 +1,7 @@
+(** Plain Datalog: TGDs without existential head variables. Trivially
+    chase-terminating, but not FO-rewritable in general (recursion). *)
+
+open Tgd_logic
+
+val rule_ok : Tgd.t -> bool
+val check : Program.t -> bool

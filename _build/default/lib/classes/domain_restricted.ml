@@ -1,0 +1,12 @@
+open Tgd_logic
+
+let rule_ok (r : Tgd.t) =
+  let bvars = Tgd.body_vars r in
+  List.for_all
+    (fun h ->
+      let hvars = Atom.vars h in
+      let inter = Symbol.Set.inter bvars hvars in
+      Symbol.Set.is_empty inter || Symbol.Set.subset bvars hvars)
+    r.Tgd.head
+
+let check p = List.for_all rule_ok (Program.tgds p)

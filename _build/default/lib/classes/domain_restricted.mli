@@ -1,0 +1,9 @@
+(** Domain-restricted TGDs (Baget, Leclère, Mugnier, Salvat): every head
+    atom contains either all of the body variables or none of them. An
+    FO-rewritable class incomparable with SWR, cited by the paper as one of
+    the classes WR is meant to subsume. *)
+
+open Tgd_logic
+
+val rule_ok : Tgd.t -> bool
+val check : Program.t -> bool

@@ -1,0 +1,7 @@
+(** Guarded TGDs: some body atom (the guard) contains every body variable.
+    Not FO-rewritable in general; included for the class landscape. *)
+
+open Tgd_logic
+
+val rule_ok : Tgd.t -> bool
+val check : Program.t -> bool

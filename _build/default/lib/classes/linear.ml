@@ -1,0 +1,4 @@
+open Tgd_logic
+
+let rule_ok (r : Tgd.t) = match r.Tgd.body with [ _ ] -> true | [] | _ :: _ :: _ -> false
+let check p = List.for_all rule_ok (Program.tgds p)

@@ -1,0 +1,7 @@
+(** Linear TGDs: exactly one body atom (Calì, Gottlob, Lukasiewicz). An
+    FO-rewritable class subsumed by SWR on simple TGDs (Section 5). *)
+
+open Tgd_logic
+
+val rule_ok : Tgd.t -> bool
+val check : Program.t -> bool

@@ -1,0 +1,7 @@
+open Tgd_logic
+
+let rule_ok (r : Tgd.t) =
+  let all_vars = Tgd.body_vars r in
+  List.for_all (fun a -> Symbol.Set.subset all_vars (Atom.vars a)) r.Tgd.body
+
+let check p = List.for_all rule_ok (Program.tgds p)

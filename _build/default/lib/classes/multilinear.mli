@@ -1,0 +1,8 @@
+(** Multi-linear TGDs (Calì, Gottlob, Pieris): every body atom is a guard,
+    i.e. contains all the universally quantified (body) variables of the
+    rule. FO-rewritable; subsumed by SWR on simple TGDs (Section 5). *)
+
+open Tgd_logic
+
+val rule_ok : Tgd.t -> bool
+val check : Program.t -> bool

@@ -1,0 +1,116 @@
+open Tgd_logic
+
+(* A body position: rule name, atom index in the body, argument index. *)
+type marking = {
+  marked : (string * int * int, unit) Hashtbl.t;
+  (* predicate positions (pred, arg index) that are marked in some body *)
+  marked_pred_pos : (Symbol.t * int, unit) Hashtbl.t;
+}
+
+let mark_var m (r : Tgd.t) v =
+  let changed = ref false in
+  List.iteri
+    (fun ai (a : Atom.t) ->
+      Array.iteri
+        (fun i t ->
+          match t with
+          | Term.Var v' when Symbol.equal v v' ->
+            let key = (r.Tgd.name, ai, i) in
+            if not (Hashtbl.mem m.marked key) then begin
+              Hashtbl.add m.marked key ();
+              changed := true;
+              let ppos = (a.Atom.pred, i) in
+              if not (Hashtbl.mem m.marked_pred_pos ppos) then Hashtbl.add m.marked_pred_pos ppos ()
+            end
+          | Term.Var _ | Term.Const _ -> ())
+        a.Atom.args)
+    r.Tgd.body;
+  !changed
+
+let marking p =
+  let m = { marked = Hashtbl.create 64; marked_pred_pos = Hashtbl.create 64 } in
+  let rules = Program.tgds p in
+  (* Base step: body variables that do not occur in every head atom. *)
+  List.iter
+    (fun (r : Tgd.t) ->
+      let bvars = Tgd.body_vars r in
+      Symbol.Set.iter
+        (fun v ->
+          let in_every_head = List.for_all (fun h -> Symbol.Set.mem v (Atom.vars h)) r.Tgd.head in
+          if not in_every_head then ignore (mark_var m r v))
+        bvars)
+    rules;
+  (* Propagation: a head occurrence of [v] at a marked predicate position
+     marks all body occurrences of [v]. *)
+  let step () =
+    let changed = ref false in
+    List.iter
+      (fun (r : Tgd.t) ->
+        List.iter
+          (fun (h : Atom.t) ->
+            Array.iteri
+              (fun i t ->
+                match t with
+                | Term.Var v when Hashtbl.mem m.marked_pred_pos (h.Atom.pred, i) ->
+                  if mark_var m r v then changed := true
+                | Term.Var _ | Term.Const _ -> ())
+              h.Atom.args)
+          r.Tgd.head)
+      rules;
+    !changed
+  in
+  while step () do
+    ()
+  done;
+  m
+
+let marked_positions m (r : Tgd.t) =
+  let acc = ref [] in
+  List.iteri
+    (fun ai (a : Atom.t) ->
+      Array.iteri
+        (fun i _ -> if Hashtbl.mem m.marked (r.Tgd.name, ai, i) then acc := (ai, i) :: !acc)
+        a.Atom.args)
+    r.Tgd.body;
+  List.rev !acc
+
+(* For each rule, the multiset of (atom index) occurrences of each variable
+   at marked positions. *)
+let marked_var_occurrences m (r : Tgd.t) =
+  let occ : (int * int) list Symbol.Table.t = Symbol.Table.create 8 in
+  List.iteri
+    (fun ai (a : Atom.t) ->
+      Array.iteri
+        (fun i t ->
+          match t with
+          | Term.Var v when Hashtbl.mem m.marked (r.Tgd.name, ai, i) ->
+            let existing = Option.value ~default:[] (Symbol.Table.find_opt occ v) in
+            Symbol.Table.replace occ v ((ai, i) :: existing)
+          | Term.Var _ | Term.Const _ -> ())
+        a.Atom.args)
+    r.Tgd.body;
+  occ
+
+(* Note: stickiness counts every occurrence of a marked variable in the
+   body, marked or not — once a variable is marked, all its body
+   occurrences are marked by construction of [mark_var], so using the
+   marked occurrences is equivalent. *)
+let sticky p =
+  let m = marking p in
+  List.for_all
+    (fun r ->
+      let occ = marked_var_occurrences m r in
+      Symbol.Table.fold (fun _ positions acc -> acc && List.length positions <= 1) occ true)
+    (Program.tgds p)
+
+let sticky_join p =
+  let m = marking p in
+  List.for_all
+    (fun r ->
+      let occ = marked_var_occurrences m r in
+      Symbol.Table.fold
+        (fun _ positions acc ->
+          let atom_indexes = List.sort_uniq Int.compare (List.map fst positions) in
+          acc && List.length atom_indexes <= 1)
+        occ true)
+    (Program.tgds p)

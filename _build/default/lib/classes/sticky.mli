@@ -1,0 +1,36 @@
+(** Sticky and Sticky-Join TGDs (Calì, Gottlob, Pieris), via the standard
+    marking procedure.
+
+    Marking: (base) every occurrence in a rule body of a variable that does
+    not occur in every head atom of that rule is marked; (propagation) if a
+    variable occurs in a head atom at a position that is marked somewhere in
+    some rule body, all body occurrences of that variable in its own rule
+    are marked — to fixpoint.
+
+    - {b Sticky}: no marked variable occurs more than once in a rule body
+      (neither twice in one atom nor in two atoms).
+    - {b Sticky-Join} (as used by the paper's Example 3): no marked variable
+      occurs in two {e distinct} body atoms; repeated occurrences inside a
+      single atom are allowed. This matches how the paper uses SJ ("y1
+      appears in two different atoms of body(R3)") but it is an
+      {b over-approximation} of CGP's full sticky-join class: e.g. the
+      paper's Example 2 (not FO-rewritable, hence outside real SJ) passes
+      this check through a marked variable repeated inside one atom.
+      Consequently [sticky_join] is reliable for {e negative} verdicts
+      (outside our class implies outside SJ) and must not be used as an
+      FO-rewritability witness; {!Tgd_core.Classifier} treats it
+      accordingly. *)
+
+open Tgd_logic
+
+type marking
+(** Marked body positions, per rule. *)
+
+val marking : Program.t -> marking
+
+val marked_positions : marking -> Tgd.t -> (int * int) list
+(** [(atom_index, arg_index)] pairs (0-based) of marked body positions of a
+    rule of the program. *)
+
+val sticky : Program.t -> bool
+val sticky_join : Program.t -> bool

@@ -1,0 +1,66 @@
+open Tgd_logic
+
+type edge_kind =
+  | Normal
+  | Special
+
+let graph p =
+  let edges = ref [] in
+  let add src kind dst = edges := (src, kind, dst) :: !edges in
+  let for_rule (r : Tgd.t) =
+    let frontier = Tgd.frontier r in
+    let ex_heads = Tgd.existential_head_vars r in
+    (* Body positions of each frontier variable. *)
+    Symbol.Set.iter
+      (fun v ->
+        let body_positions =
+          List.concat_map
+            (fun (a : Atom.t) ->
+              List.map (fun i -> (a.Atom.pred, i)) (Atom.positions_of_var v a))
+            r.Tgd.body
+        in
+        let head_positions =
+          List.concat_map
+            (fun (a : Atom.t) ->
+              List.map (fun i -> (a.Atom.pred, i)) (Atom.positions_of_var v a))
+            r.Tgd.head
+        in
+        let ex_positions =
+          List.concat_map
+            (fun (a : Atom.t) ->
+              Symbol.Set.fold
+                (fun y acc ->
+                  List.map (fun i -> (a.Atom.pred, i)) (Atom.positions_of_var y a) @ acc)
+                ex_heads [])
+            r.Tgd.head
+        in
+        List.iter
+          (fun src ->
+            List.iter (fun dst -> add src Normal dst) head_positions;
+            List.iter (fun dst -> add src Special dst) ex_positions)
+          body_positions)
+      frontier
+  in
+  List.iter for_rule (Program.tgds p);
+  List.rev !edges
+
+let check p =
+  let edges = graph p in
+  (* Dense ids for positions. *)
+  let ids = Hashtbl.create 64 in
+  let n = ref 0 in
+  let id pos =
+    match Hashtbl.find_opt ids pos with
+    | Some i -> i
+    | None ->
+      let i = !n in
+      Hashtbl.add ids pos i;
+      incr n;
+      i
+  in
+  let earr = Array.of_list (List.map (fun (s, k, d) -> (id s, k, id d)) edges) in
+  let g = Tgd_graph.Int_digraph.make ~n:(max !n 1) ~edges:(Array.map (fun (s, _, d) -> (s, d)) earr) in
+  let comp, _ = Tgd_graph.Int_digraph.scc g in
+  (* Weakly acyclic iff no special edge lies inside a strongly connected
+     component. *)
+  not (Array.exists (fun (s, k, d) -> k = Special && comp.(s) = comp.(d)) earr)

@@ -1,0 +1,18 @@
+(** Weak acyclicity (Fagin, Kolaitis, Miller, Popa): the classic sufficient
+    condition for chase termination. The position dependency graph has a
+    normal edge from position (p,i) to (q,j) when a frontier variable flows
+    from (p,i) in a body to (q,j) in the head, and a special edge when an
+    existential head variable occurs at (q,j) in a head whose rule reads a
+    frontier variable at (p,i). Weakly acyclic iff no cycle goes through a
+    special edge. *)
+
+open Tgd_logic
+
+type edge_kind =
+  | Normal
+  | Special
+
+val graph : Program.t -> ((Symbol.t * int) * edge_kind * (Symbol.t * int)) list
+(** The position dependency graph as an edge list (positions are 1-based). *)
+
+val check : Program.t -> bool

@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Format List Option Program Swr Tgd_classes Tgd_logic Wr

@@ -1,0 +1,1 @@
+lib/core/classifier.mli: Format Program Tgd_logic

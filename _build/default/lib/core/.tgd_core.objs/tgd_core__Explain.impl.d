@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Classifier Format List P_node P_node_graph Position Position_graph Swr Wr

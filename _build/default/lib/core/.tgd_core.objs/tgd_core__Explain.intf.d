@@ -1,0 +1,1 @@
+lib/core/explain.mli: P_node_graph Position_graph Program Tgd_logic

@@ -1,0 +1,1 @@
+lib/core/p_atom.ml: Array Format Int Symbol Tgd_logic

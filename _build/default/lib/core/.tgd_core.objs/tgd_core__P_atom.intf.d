@@ -1,0 +1,1 @@
+lib/core/p_atom.mli: Format Symbol Tgd_logic

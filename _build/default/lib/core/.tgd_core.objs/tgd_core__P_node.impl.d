@@ -1,0 +1,1 @@
+lib/core/p_node.ml: Array Atom Format Hashtbl Int List Option P_atom Symbol Term Tgd_logic

@@ -1,0 +1,1 @@
+lib/core/p_node.mli: Atom Format Hashtbl P_atom Symbol Tgd_logic

@@ -1,0 +1,1 @@
+lib/core/p_node_graph.ml: Array Atom Format List P_atom P_node Printf Program Queue String Subst Symbol Term Tgd Tgd_graph Tgd_logic Unify

@@ -1,0 +1,1 @@
+lib/core/p_node_graph.mli: Format P_node Program Tgd_graph Tgd_logic

@@ -1,0 +1,1 @@
+lib/core/paper_examples.ml: Atom Cq List Program Term Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/core/position.ml: Format Int Symbol Tgd_logic

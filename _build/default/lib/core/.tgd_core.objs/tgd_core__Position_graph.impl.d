@@ -1,0 +1,1 @@
+lib/core/position_graph.ml: Array Atom Format Hashtbl List Position Program Queue String Symbol Term Tgd Tgd_graph Tgd_logic

@@ -1,0 +1,1 @@
+lib/core/position_graph.mli: Format Position Program Tgd_graph Tgd_logic

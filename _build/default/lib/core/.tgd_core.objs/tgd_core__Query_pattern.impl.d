@@ -1,0 +1,1 @@
+lib/core/query_pattern.ml: Array Atom Cq Format List Printf Program String Symbol Term Tgd_logic Tgd_rewrite

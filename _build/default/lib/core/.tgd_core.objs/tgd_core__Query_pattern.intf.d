@@ -1,0 +1,1 @@
+lib/core/query_pattern.mli: Atom Cq Format Program Symbol Tgd_logic Tgd_rewrite

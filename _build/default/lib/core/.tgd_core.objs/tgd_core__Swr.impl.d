@@ -1,0 +1,1 @@
+lib/core/swr.ml: List Position_graph Program Tgd_logic

@@ -1,0 +1,1 @@
+lib/core/swr.mli: Position_graph Program Tgd_logic

@@ -1,0 +1,1 @@
+lib/core/wr.ml: List P_node_graph

@@ -1,0 +1,1 @@
+lib/core/wr.mli: P_node_graph Program Tgd_logic

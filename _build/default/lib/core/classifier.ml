@@ -1,0 +1,88 @@
+open Tgd_logic
+
+type report = {
+  program : string;
+  n_rules : int;
+  simple : bool;
+  datalog : bool;
+  linear : bool;
+  guarded : bool;
+  multilinear : bool;
+  sticky : bool;
+  sticky_join : bool;
+  weakly_acyclic : bool;
+  domain_restricted : bool;
+  acyclic_grd : bool;
+  swr : bool;
+  wr : bool;
+  wr_established : bool;
+}
+
+let classify ?wr_max_nodes p =
+  let swr = Swr.check p in
+  let wr = Wr.check ?max_nodes:wr_max_nodes p in
+  {
+    program = p.Program.name;
+    n_rules = Program.size p;
+    simple = Program.is_simple p;
+    datalog = Tgd_classes.Datalog_class.check p;
+    linear = Tgd_classes.Linear.check p;
+    guarded = Tgd_classes.Guarded.check p;
+    multilinear = Tgd_classes.Multilinear.check p;
+    sticky = Tgd_classes.Sticky.sticky p;
+    sticky_join = Tgd_classes.Sticky.sticky_join p;
+    weakly_acyclic = Tgd_classes.Weakly_acyclic.check p;
+    domain_restricted = Tgd_classes.Domain_restricted.check p;
+    acyclic_grd = Tgd_classes.Rule_dependency.acyclic p;
+    swr = swr.Swr.swr;
+    wr = wr.Wr.wr;
+    wr_established = wr.Wr.complete;
+  }
+
+(* sticky_join is deliberately absent: our checker over-approximates the
+   real sticky-join class (see Tgd_classes.Sticky), so it can only certify
+   non-membership, never FO-rewritability. *)
+let fo_rewritable_witness r =
+  let candidates =
+    [
+      ("linear", r.linear);
+      ("multilinear", r.multilinear);
+      ("sticky", r.sticky);
+      ("domain-restricted", r.domain_restricted);
+      ("acyclic-grd", r.acyclic_grd);
+      ("swr", r.swr);
+      ("wr", r.wr);
+    ]
+  in
+  List.find_opt snd candidates |> Option.map fst
+
+let header =
+  [
+    "program"; "rules"; "simple"; "datalog"; "linear"; "guarded"; "multilinear"; "sticky";
+    "sticky-join"; "weakly-acyclic"; "domain-restricted"; "acyclic-grd"; "swr"; "wr";
+  ]
+
+let yn b = if b then "yes" else "no"
+
+let to_row r =
+  [
+    r.program;
+    string_of_int r.n_rules;
+    yn r.simple;
+    yn r.datalog;
+    yn r.linear;
+    yn r.guarded;
+    yn r.multilinear;
+    yn r.sticky;
+    yn r.sticky_join;
+    yn r.weakly_acyclic;
+    yn r.domain_restricted;
+    yn r.acyclic_grd;
+    yn r.swr;
+    (if r.wr_established then yn r.wr else "unknown");
+  ]
+
+let pp ppf r =
+  List.iter2
+    (fun h v -> Format.fprintf ppf "%-18s %s@." h v)
+    header (to_row r)

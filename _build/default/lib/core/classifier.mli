@@ -1,0 +1,36 @@
+(** Umbrella classifier: run every class membership test on a program and
+    report the landscape the paper discusses. *)
+
+open Tgd_logic
+
+type report = {
+  program : string;  (** program name *)
+  n_rules : int;
+  simple : bool;
+  datalog : bool;
+  linear : bool;
+  guarded : bool;
+  multilinear : bool;
+  sticky : bool;
+  sticky_join : bool;
+  weakly_acyclic : bool;
+  domain_restricted : bool;
+  acyclic_grd : bool;
+  swr : bool;
+  wr : bool;
+  wr_established : bool;  (** [false] iff the WR graph construction was truncated *)
+}
+
+val classify : ?wr_max_nodes:int -> Program.t -> report
+
+val fo_rewritable_witness : report -> string option
+(** The name of some class in the report that guarantees FO-rewritability
+    (linear, multilinear, sticky, sticky-join, domain-restricted, acyclic
+    GRD, SWR or WR), if any. *)
+
+val pp : Format.formatter -> report -> unit
+
+val to_row : report -> string list
+(** Fixed-order textual row (matching {!header}) for tables. *)
+
+val header : string list

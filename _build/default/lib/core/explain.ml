@@ -1,0 +1,64 @@
+
+let find_cycle cycles has_all = List.find_opt has_all cycles
+
+let swr_witness g =
+  let cycles = Position_graph.G.simple_cycles ~limit:10_000 g in
+  let has_all cycle =
+    List.exists (fun (e : Position_graph.G.edge) -> e.Position_graph.G.label.Position_graph.m) cycle
+    && List.exists (fun (e : Position_graph.G.edge) -> e.Position_graph.G.label.Position_graph.s) cycle
+  in
+  find_cycle cycles has_all
+
+let wr_witness g =
+  let keep (l : P_node_graph.label) = not l.P_node_graph.i in
+  let cycles = P_node_graph.G.simple_cycles ~limit:10_000 ~keep g in
+  let has_all cycle =
+    let has f = List.exists (fun (e : P_node_graph.G.edge) -> f e.P_node_graph.G.label) cycle in
+    has (fun l -> l.P_node_graph.d) && has (fun l -> l.P_node_graph.m) && has (fun l -> l.P_node_graph.s)
+  in
+  find_cycle cycles has_all
+
+let pp_position_cycle ppf cycle =
+  List.iter
+    (fun (e : Position_graph.G.edge) ->
+      Format.fprintf ppf "    %s --[%s]--> %s@."
+        (Position.to_string e.Position_graph.G.src)
+        (Format.asprintf "%a" Position_graph.Label.pp e.Position_graph.G.label)
+        (Position.to_string e.Position_graph.G.dst))
+    cycle
+
+let pp_pnode_cycle ppf cycle =
+  List.iter
+    (fun (e : P_node_graph.G.edge) ->
+      Format.fprintf ppf "    %s --[%s]--> %s@."
+        (P_node.to_string e.P_node_graph.G.src)
+        (Format.asprintf "%a" P_node_graph.Label.pp e.P_node_graph.G.label)
+        (P_node.to_string e.P_node_graph.G.dst))
+    cycle
+
+let describe ?wr_max_nodes p =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  let report = Classifier.classify ?wr_max_nodes p in
+  Classifier.pp ppf report;
+  (match Classifier.fo_rewritable_witness report with
+  | Some w -> Format.fprintf ppf "=> FO-rewritable (witness: %s)@." w
+  | None -> Format.fprintf ppf "=> FO-rewritability not established by any implemented class@.");
+  if report.Classifier.simple && not report.Classifier.swr then begin
+    let v = Swr.check p in
+    match swr_witness v.Swr.graph with
+    | Some cycle ->
+      Format.fprintf ppf "@.dangerous position-graph cycle (m- and s-edges):@.";
+      pp_position_cycle ppf cycle
+    | None -> ()
+  end;
+  if not report.Classifier.wr then begin
+    let w = Wr.check ?max_nodes:wr_max_nodes p in
+    match wr_witness w.Wr.graph.P_node_graph.graph with
+    | Some cycle ->
+      Format.fprintf ppf "@.dangerous P-node-graph cycle (s-, m-, d-edges; no i-edge):@.";
+      pp_pnode_cycle ppf cycle
+    | None -> ()
+  end;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

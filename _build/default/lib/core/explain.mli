@@ -1,0 +1,19 @@
+(** Witness extraction: concrete dangerous cycles from the two graphs, for
+    human consumption (the [obda classify -v] output). A verdict "not SWR"
+    or "not WR" is much more actionable with the actual cycle in hand. *)
+
+open Tgd_logic
+
+val swr_witness : Position_graph.G.t -> Position_graph.G.edge list option
+(** A simple cycle containing both an m-edge and an s-edge, if the bounded
+    enumeration finds one. [None] either means no dangerous simple cycle
+    exists or the enumeration budget was exhausted (the SCC-based check in
+    {!Swr} remains authoritative). *)
+
+val wr_witness : P_node_graph.G.t -> P_node_graph.G.edge list option
+(** A simple i-edge-free cycle containing d-, m- and s-edges, if any. *)
+
+val describe : ?wr_max_nodes:int -> Program.t -> string
+(** A multi-line report: the classifier matrix, the FO-rewritability
+    witness if any, and for negative SWR/WR verdicts the dangerous cycle
+    when one is found. *)

@@ -1,0 +1,74 @@
+open Tgd_logic
+
+type term =
+  | Z
+  | X of int
+  | C of Symbol.t
+
+type t = {
+  pred : Symbol.t;
+  args : term array;
+}
+
+let term_equal t1 t2 =
+  match t1, t2 with
+  | Z, Z -> true
+  | X i, X j -> Int.equal i j
+  | C c1, C c2 -> Symbol.equal c1 c2
+  | (Z | X _ | C _), _ -> false
+
+let term_compare t1 t2 =
+  match t1, t2 with
+  | Z, Z -> 0
+  | Z, (X _ | C _) -> -1
+  | X _, Z -> 1
+  | X i, X j -> Int.compare i j
+  | X _, C _ -> -1
+  | C _, (Z | X _) -> 1
+  | C c1, C c2 -> Symbol.compare c1 c2
+
+let equal a1 a2 =
+  Symbol.equal a1.pred a2.pred
+  && Array.length a1.args = Array.length a2.args
+  && Array.for_all2 term_equal a1.args a2.args
+
+let compare a1 a2 =
+  let c = Symbol.compare a1.pred a2.pred in
+  if c <> 0 then c
+  else
+    let c = Int.compare (Array.length a1.args) (Array.length a2.args) in
+    if c <> 0 then c
+    else
+      let rec loop i =
+        if i >= Array.length a1.args then 0
+        else
+          let c = term_compare a1.args.(i) a2.args.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+
+let term_hash = function
+  | Z -> 0
+  | X i -> (2 * i) + 1
+  | C c -> (2 * Symbol.hash c) + 2
+
+let hash a = Array.fold_left (fun h t -> (h * 31) + term_hash t) (Symbol.hash a.pred) a.args
+
+let pp_term ppf = function
+  | Z -> Format.pp_print_string ppf "z"
+  | X i -> Format.fprintf ppf "x%d" i
+  | C c -> Symbol.pp ppf c
+
+let pp ppf a =
+  if Array.length a.args = 0 then Symbol.pp ppf a.pred
+  else
+    Format.fprintf ppf "%a(%a)" Symbol.pp a.pred
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") pp_term)
+      (Array.to_list a.args)
+
+let to_string a = Format.asprintf "%a" pp a
+
+let has_z a = Array.exists (function Z -> true | X _ | C _ -> false) a.args
+
+let x_vars a =
+  Array.fold_right (fun t acc -> match t with X i -> i :: acc | Z | C _ -> acc) a.args []

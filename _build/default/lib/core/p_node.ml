@@ -1,0 +1,126 @@
+open Tgd_logic
+
+type t = {
+  atom : P_atom.t;
+  context : P_atom.t list;
+}
+
+(* Partial key used to order context atoms before their variables are all
+   named: known terms first, unknown variables compare greatest. *)
+type key_term =
+  | Known of P_atom.term
+  | Unknown
+
+let key_term_compare k1 k2 =
+  match k1, k2 with
+  | Known t1, Known t2 -> P_atom.term_compare t1 t2
+  | Known _, Unknown -> -1
+  | Unknown, Known _ -> 1
+  | Unknown, Unknown -> 0
+
+let canonicalize ~sigma ~context ~tracked =
+  let mapping : P_atom.term Symbol.Table.t = Symbol.Table.create 8 in
+  (match tracked with None -> () | Some v -> Symbol.Table.add mapping v P_atom.Z);
+  let next = ref 0 in
+  let assign v =
+    match Symbol.Table.find_opt mapping v with
+    | Some t -> t
+    | None ->
+      incr next;
+      let t = P_atom.X !next in
+      Symbol.Table.add mapping v t;
+      t
+  in
+  let rename_atom (a : Atom.t) : P_atom.t =
+    {
+      P_atom.pred = a.Atom.pred;
+      args =
+        Array.map
+          (fun t -> match t with Term.Const c -> P_atom.C c | Term.Var v -> assign v)
+          a.Atom.args;
+    }
+  in
+  let sigma' = rename_atom sigma in
+  (* Name the remaining context variables in a deterministic order: always
+     process the atom whose partial key is minimal. *)
+  let partial_key (a : Atom.t) =
+    ( Symbol.hash a.Atom.pred,
+      Atom.arity a,
+      Array.to_list
+        (Array.map
+           (fun t ->
+             match t with
+             | Term.Const c -> Known (P_atom.C c)
+             | Term.Var v -> (
+               match Symbol.Table.find_opt mapping v with
+               | Some t -> Known t
+               | None -> Unknown))
+           a.Atom.args) )
+  in
+  let key_compare (p1, n1, k1) (p2, n2, k2) =
+    let c = Int.compare p1 p2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare n1 n2 in
+      if c <> 0 then c else List.compare key_term_compare k1 k2
+  in
+  let rec process remaining acc =
+    match remaining with
+    | [] -> acc
+    | _ ->
+      let best =
+        List.fold_left
+          (fun best a ->
+            match best with
+            | None -> Some a
+            | Some b -> if key_compare (partial_key a) (partial_key b) < 0 then Some a else best)
+          None remaining
+      in
+      (match best with
+      | None -> acc
+      | Some a ->
+        let rest = List.filter (fun a' -> not (a' == a)) remaining in
+        process rest (rename_atom a :: acc))
+  in
+  let context' = process context [] in
+  let context' = List.sort_uniq P_atom.compare context' in
+  { atom = sigma'; context = context' }
+
+let unbounded_count node =
+  (* Occurrence count of each canonical variable over the whole context. *)
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (a : P_atom.t) ->
+      List.iter
+        (fun i -> Hashtbl.replace counts i (1 + Option.value ~default:0 (Hashtbl.find_opt counts i)))
+        (P_atom.x_vars a))
+    node.context;
+  Array.fold_left
+    (fun acc t ->
+      match t with
+      | P_atom.Z -> acc + 1
+      | P_atom.X i -> if Option.value ~default:0 (Hashtbl.find_opt counts i) = 1 then acc + 1 else acc
+      | P_atom.C _ -> acc)
+    0 node.atom.P_atom.args
+
+let equal n1 n2 = P_atom.equal n1.atom n2.atom && List.equal P_atom.equal n1.context n2.context
+
+let compare n1 n2 =
+  let c = P_atom.compare n1.atom n2.atom in
+  if c <> 0 then c else List.compare P_atom.compare n1.context n2.context
+
+let hash n = List.fold_left (fun h a -> (h * 31) + P_atom.hash a) (P_atom.hash n.atom) n.context
+
+let pp ppf n =
+  Format.fprintf ppf "<%a | %a>" P_atom.pp n.atom
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") P_atom.pp)
+    n.context
+
+let to_string n = Format.asprintf "%a" pp n
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

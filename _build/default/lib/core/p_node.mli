@@ -1,0 +1,37 @@
+(** P-nodes (Definition 7): a P-atom [sigma] paired with its context
+    [Sigma], the set of P-atoms produced by the same rule application
+    (including [sigma] itself). The context is what makes the applicability
+    test of the P-node graph sharper than the position graph's: it records
+    which variables of [sigma] are shared with sibling atoms.
+
+    Nodes are canonical: variables are renamed to [x1, x2, ...] greedily
+    (first over [sigma]'s arguments, then over the context atoms in a
+    deterministic minimal-first order), the tracked variable (if any) to
+    [z], and the context is sorted. Equal rewriting situations therefore
+    map to equal nodes, which keeps the graph finite. *)
+
+open Tgd_logic
+
+type t = {
+  atom : P_atom.t;
+  context : P_atom.t list;  (** sorted, duplicate-free, contains [atom] *)
+}
+
+val canonicalize : sigma:Atom.t -> context:Atom.t list -> tracked:Symbol.t option -> t
+(** Build the canonical node for a concrete rewriting situation: [sigma] a
+    concrete atom, [context] the concrete atoms generated with it (it must
+    contain [sigma]), [tracked] the concrete variable marked as the tracked
+    existential. *)
+
+val unbounded_count : t -> int
+(** Number of argument positions of [atom] holding [z] or a canonical
+    variable occurring exactly once in the whole context — the node's
+    unbounded arguments, compared along edges to detect d-edges. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,66 @@
+(** The P-node graph (Section 6).
+
+    The paper presents the P-node graph only in prose (its formal definition
+    lives in an unpublished manuscript), so this module is a documented
+    reconstruction, calibrated against the paper's own ground truth:
+    Example 2 is classified not-WR through a cycle carrying s-, m- and
+    d-edges and no i-edge (Figure 3), and Example 3 is classified WR because
+    the unification of the recursive rule head is blocked by a frontier
+    variable entering the existential class.
+
+    Nodes are P-nodes ⟨sigma, Sigma⟩ ({!P_node}); each node abstracts an
+    atom generated during query rewriting, together with the sibling atoms
+    of the same rule application and an optional tracked existential
+    variable [z]. An edge [u --R--> v] abstracts one single-atom rewriting
+    step of [u.atom] with rule [R]; the step is admissible when [u.atom]
+    unifies with [head(R)] such that every existential head variable's
+    unification class contains no constant, no frontier variable, no second
+    existential variable, and only node variables whose every occurrence in
+    the node lies inside [sigma] at positions of that same class (this is
+    the context-sensitive applicability the paper calls "much more
+    involved").
+
+    Edge labels:
+    - [s] (splitting): a followed existential variable — the continuation of
+      [z] or a fresh existential body variable of [R] — lands in at least
+      two body atoms;
+    - [m] (missing): some distinguished variable of [R] does not occur in
+      the generated body atom;
+    - [d] (decreasing): the number of unbounded arguments grows along the
+      edge, i.e. the target atom has more arguments holding [z] or a
+      context-wise single-occurrence variable than the source
+      ("decreasing the number of bounded arguments" in the paper's
+      phrasing);
+    - [i] (isolated): the generated body atom shares no variable with the
+      rule frontier nor with its sibling body atoms.
+
+    Multi-head rules are single-head-normalized before the construction. *)
+
+open Tgd_logic
+
+type label = {
+  s : bool;
+  m : bool;
+  d : bool;
+  i : bool;
+}
+
+module Label : sig
+  type t = label
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module G : module type of Tgd_graph.Digraph.Make (P_node) (Label)
+
+type result = {
+  graph : G.t;
+  complete : bool;  (** [false] iff the node budget stopped the construction *)
+}
+
+val build : ?max_nodes:int -> Program.t -> result
+(** Default [max_nodes] is 50_000. *)
+
+val edge_list : G.t -> (string * string * string) list
+(** Edges as [(source, target, label)] strings, sorted, for golden tests. *)

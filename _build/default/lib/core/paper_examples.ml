@@ -1,0 +1,97 @@
+open Tgd_logic
+
+let v name = Term.var name
+let atom p args = Atom.of_strings p args
+
+let example1 =
+  let r1 =
+    Tgd.make ~name:"R1"
+      ~body:[ atom "s" [ v "Y1"; v "Y2"; v "Y3" ]; atom "t" [ v "Y4" ] ]
+      ~head:[ atom "r" [ v "Y1"; v "Y3" ] ]
+  in
+  let r2 =
+    Tgd.make ~name:"R2"
+      ~body:[ atom "v" [ v "Y1"; v "Y2" ]; atom "q" [ v "Y2" ] ]
+      ~head:[ atom "s" [ v "Y1"; v "Y3"; v "Y2" ] ]
+  in
+  let r3 =
+    Tgd.make ~name:"R3" ~body:[ atom "r" [ v "Y1"; v "Y2" ] ] ~head:[ atom "v" [ v "Y1"; v "Y2" ] ]
+  in
+  Program.make_exn ~name:"example1" [ r1; r2; r3 ]
+
+let example2 =
+  let r1 =
+    Tgd.make ~name:"R1"
+      ~body:[ atom "t" [ v "Y1"; v "Y2" ]; atom "r" [ v "Y3"; v "Y4" ] ]
+      ~head:[ atom "s" [ v "Y1"; v "Y3"; v "Y2" ] ]
+  in
+  let r2 =
+    Tgd.make ~name:"R2"
+      ~body:[ atom "s" [ v "Y1"; v "Y1"; v "Y2" ] ]
+      ~head:[ atom "r" [ v "Y2"; v "Y3" ] ]
+  in
+  Program.make_exn ~name:"example2" [ r1; r2 ]
+
+let example2_query =
+  Cq.make ~name:"q" ~answer:[] ~body:[ atom "r" [ Term.const "a"; v "X" ] ]
+
+let example3 =
+  let r1 =
+    Tgd.make ~name:"R1"
+      ~body:[ atom "r" [ v "Y1"; v "Y2" ] ]
+      ~head:[ atom "t" [ v "Y3"; v "Y1"; v "Y1" ] ]
+  in
+  let r2 =
+    Tgd.make ~name:"R2"
+      ~body:[ atom "s" [ v "Y1"; v "Y2"; v "Y3" ] ]
+      ~head:[ atom "r" [ v "Y1"; v "Y2" ] ]
+  in
+  let r3 =
+    Tgd.make ~name:"R3"
+      ~body:[ atom "u" [ v "Y1" ]; atom "t" [ v "Y1"; v "Y1"; v "Y2" ] ]
+      ~head:[ atom "s" [ v "Y1"; v "Y1"; v "Y2" ] ]
+  in
+  Program.make_exn ~name:"example3" [ r1; r2; r3 ]
+
+(* Figure 1, in our rendering. Nodes: r[ ], s[ ], s[2], t[ ], t[1], v[ ],
+   q[ ]. Edges (Definition 4 applied to example1):
+   - from r[ ] through R1: to s[ ] (plain), s[2] (existential body var Y2),
+     t[ ] and t[1] (both m: Y1, Y3 missing from t(Y4); Y4 is an existential
+     body variable at t[1]);
+   - from s[ ] through R2: to v[ ] (plain) and q[ ] (m: Y1 missing);
+   - from v[ ] through R3: to r[ ] (plain).
+   s[2] has no outgoing edges: s[2]-compatibility fails because position 2
+   of head(R2) holds the existential variable Y3. *)
+let figure1_edges =
+  List.sort compare
+    [
+      ("r[ ]", "s[ ]", "");
+      ("r[ ]", "s[2]", "");
+      ("r[ ]", "t[ ]", "m");
+      ("r[ ]", "t[1]", "m");
+      ("s[ ]", "v[ ]", "");
+      ("s[ ]", "q[ ]", "m");
+      ("v[ ]", "r[ ]", "");
+    ]
+
+(* Figure 2 shows the positions r[ ], s[ ], t[ ], r[1], r[2], s[1], s[2],
+   s[3], t[1], t[2]. *)
+let figure2_node_count = 10
+
+(* Domain-restricted (rule A's head carries all body variables, rule B's
+   head carries none) with an acyclic GRD (B's fresh-existential head can
+   never re-trigger A: the shared variable W would force the piece to grow
+   across predicates), yet the position graph has the cycle
+   a[ ] --s--> h[ ] --m--> a[ ]: not SWR. *)
+let dr_agrd_not_swr =
+  let ra =
+    Tgd.make ~name:"A"
+      ~body:[ atom "a" [ v "X"; v "W" ]; atom "b" [ v "W"; v "Y" ] ]
+      ~head:[ atom "h" [ v "X"; v "W"; v "Y" ] ]
+  in
+  let rb =
+    Tgd.make ~name:"B"
+      ~body:[ atom "h" [ v "U"; v "V"; v "T" ]; atom "g" [ v "U" ] ]
+      ~head:[ atom "a" [ v "Z1"; v "Z2" ] ]
+  in
+  Program.make_exn ~name:"dr_agrd_not_swr" [ ra; rb ]

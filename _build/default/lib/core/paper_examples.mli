@@ -1,0 +1,42 @@
+(** The worked examples of the paper, as ready-made programs and queries.
+    They are the golden inputs of the reproduction: Figures 1-3 and the
+    classification claims of Sections 5-6 are checked against them. *)
+
+open Tgd_logic
+
+val example1 : Program.t
+(** Example 1: R1: s(y1,y2,y3), t(y4) -> r(y1,y3); R2: v(y1,y2), q(y2) ->
+    s(y1,y3,y2); R3: r(y1,y2) -> v(y1,y2). Simple, SWR (Figure 1 has no
+    s-edges), hence FO-rewritable. *)
+
+val example2 : Program.t
+(** Example 2: R1: t(y1,y2), r(y3,y4) -> s(y1,y3,y2); R2: s(y1,y1,y2) ->
+    r(y2,y3). Not simple (repeated variable); its position graph (Figure 2)
+    is acyclic — the documented failure of the position graph — but it is
+    not FO-rewritable, and the P-node graph (Figure 3) detects the
+    dangerous cycle: not WR. *)
+
+val example2_query : Cq.t
+(** The boolean query q() :- r("a", x) whose rewriting under Example 2
+    develops an unbounded chain of existential join variables. *)
+
+val example3 : Program.t
+(** Example 3: R1: r(y1,y2) -> t(y3,y1,y1); R2: s(y1,y2,y3) -> r(y1,y2);
+    R3: u(y1), t(y1,y1,y2) -> s(y1,y1,y2). In none of the prior classes
+    (not simple, linear, multilinear, sticky or sticky-join), yet
+    FO-rewritable; WR accepts it. *)
+
+val figure1_edges : (string * string * string) list
+(** The expected sorted edge list of Figure 1 (our rendering of positions
+    and labels), produced by [Position_graph.edge_list]. *)
+
+val figure2_node_count : int
+(** Figure 2 shows 10 position nodes for Example 2. *)
+
+val dr_agrd_not_swr : Program.t
+(** A witness for Section 6's incomparability remark: a set of {e simple}
+    TGDs that is domain-restricted and has an acyclic GRD, yet is not SWR
+    (its position graph has a cycle carrying both an m-edge and an s-edge
+    across the two rules). Together with Example 1 — which is SWR but
+    neither domain-restricted nor acyclic-GRD — it shows both classes are
+    incomparable with SWR. *)

@@ -1,0 +1,38 @@
+(** The position graph [AG(P)] of a set of simple TGDs (Definition 4).
+
+    Nodes are positions; an edge from [sigma] to [sigma'] approximates one
+    query-rewriting step transforming an atom abstracted by [sigma] into an
+    atom abstracted by [sigma']. Edge labels record dangerous behaviours of
+    the step: [m] ("missing" — some distinguished variable of the rule does
+    not occur in the generated body atom) and [s] ("splitting" — an
+    existential variable is spread over at least two body atoms).
+
+    The construction follows Definition 4 verbatim for simple TGDs and is
+    mildly generalized to arbitrary single-head TGDs (repeated variables and
+    constants are tolerated; R-compatibility of [r[i]] still demands a
+    distinguished variable at position [i] of the head). Multi-head TGDs are
+    handled per head atom. The generalization exists to reproduce Figure 2,
+    where the paper applies the position graph to a non-simple set to show
+    why it fails there; {!Swr.check} still refuses non-simple programs. *)
+
+open Tgd_logic
+
+type label = {
+  m : bool;
+  s : bool;
+}
+
+module Label : sig
+  type t = label
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module G : module type of Tgd_graph.Digraph.Make (Position) (Label)
+
+val build : Program.t -> G.t
+
+val edge_list : G.t -> (string * string * string) list
+(** Edges as [(source, target, label)] strings, sorted — a convenient form
+    for golden tests against the paper's figures. *)

@@ -1,0 +1,55 @@
+open Tgd_logic
+
+type t = {
+  pred : Symbol.t;
+  bound : bool array;
+}
+
+let make pred bound = { pred; bound }
+
+let pp ppf pat =
+  Format.fprintf ppf "%a(%s)" Symbol.pp pat.pred
+    (String.concat "," (Array.to_list (Array.map (fun b -> if b then "b" else "u") pat.bound)))
+
+let of_query_atom (q : Cq.t) (a : Atom.t) =
+  let answer_vars = Cq.answer_vars q in
+  let bound =
+    Array.map
+      (fun t ->
+        match t with
+        | Term.Const _ -> true
+        | Term.Var v -> Symbol.Set.mem v answer_vars)
+      a.Atom.args
+  in
+  { pred = a.Atom.pred; bound }
+
+let generic_query pat =
+  let terms =
+    Array.mapi
+      (fun i b -> (b, Term.var (Printf.sprintf "%s%d" (if b then "A" else "E") i)))
+      pat.bound
+  in
+  let args = Array.to_list (Array.map snd terms) in
+  let answer = Array.to_list terms |> List.filter_map (fun (b, t) -> if b then Some t else None) in
+  Cq.make ~name:"pattern" ~answer ~body:[ Atom.make pat.pred args ]
+
+type status =
+  | Terminates of int
+  | Diverges of string
+
+let analyze ?config p pat =
+  let r = Tgd_rewrite.Rewrite.ucq ?config p (generic_query pat) in
+  match r.Tgd_rewrite.Rewrite.outcome with
+  | Tgd_rewrite.Rewrite.Complete -> Terminates (List.length r.Tgd_rewrite.Rewrite.ucq)
+  | Tgd_rewrite.Rewrite.Truncated why -> Diverges why
+
+let analyze_all ?config ?(max_arity = 6) p =
+  let masks arity =
+    let n = 1 lsl arity in
+    List.init n (fun k -> Array.init arity (fun i -> (k lsr i) land 1 = 1))
+  in
+  List.concat_map
+    (fun (pred, arity) ->
+      if arity > max_arity then []
+      else List.map (fun mask -> let pat = make pred mask in (pat, analyze ?config p pat)) (masks arity))
+    (Program.predicates p)

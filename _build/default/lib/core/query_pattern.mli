@@ -1,0 +1,49 @@
+(** Query patterns (Civili & Rosati, "Query patterns for existential rules",
+    RR 2012 — the paper's reference [11] and its named technique for the
+    cases where the whole set of TGDs is not, or cannot be shown, WR).
+
+    Even when a set of TGDs is not FO-rewritable, many {e queries} over it
+    are: whether the rewriting terminates depends on which argument
+    positions of the queried atom are bound (by a constant or an answer
+    variable). A pattern abstracts a single-atom query by its predicate and
+    a boundness mask; the analysis rewrites the most general query of each
+    pattern and records whether it saturates.
+
+    For the paper's Example 2: the pattern [r(bound, unbound)] — matching
+    the paper's own divergent query [q() :- r("a", x)] — does not
+    terminate, while [r(bound, bound)] does (the existential head variable
+    of R2 refuses to unify with a bound position). This module decides such
+    pattern-level guarantees empirically through the rewriting engine: a
+    terminating pattern certifies every single-atom query matching it,
+    because constants and answer variables only ever {e restrict} piece
+    applicability. *)
+
+open Tgd_logic
+
+type t = {
+  pred : Symbol.t;
+  bound : bool array;  (** per 1-based position - 1: is it bound? *)
+}
+
+val make : Symbol.t -> bool array -> t
+val pp : Format.formatter -> t -> unit
+
+val of_query_atom : Cq.t -> Atom.t -> t
+(** The pattern of one body atom of a query: a position is bound if it
+    holds a constant or an answer variable of the query. (Shared existential
+    variables are treated as unbound — conservative.) *)
+
+val generic_query : t -> Cq.t
+(** The most general single-atom query of the pattern: bound positions get
+    distinct answer variables, unbound ones distinct existential
+    variables. *)
+
+type status =
+  | Terminates of int  (** size of the complete rewriting *)
+  | Diverges of string  (** the budget that stopped the exploration *)
+
+val analyze : ?config:Tgd_rewrite.Rewrite.config -> Program.t -> t -> status
+
+val analyze_all : ?config:Tgd_rewrite.Rewrite.config -> ?max_arity:int -> Program.t -> (t * status) list
+(** Every pattern of every predicate of the program (2^arity masks per
+    predicate; predicates wider than [max_arity], default 6, are skipped). *)

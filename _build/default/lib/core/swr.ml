@@ -1,0 +1,33 @@
+open Tgd_logic
+
+type verdict = {
+  simple : bool;
+  dangerous : bool;
+  swr : bool;
+  graph : Position_graph.G.t;
+}
+
+let dangerous_cycle_in_graph g =
+  Position_graph.G.cyclic_scc_edge_labels g
+  |> List.exists (fun labels ->
+         List.exists (fun (l : Position_graph.label) -> l.m) labels
+         && List.exists (fun (l : Position_graph.label) -> l.s) labels)
+
+let check p =
+  let graph = Position_graph.build p in
+  let simple = Program.is_simple p in
+  let dangerous = dangerous_cycle_in_graph graph in
+  { simple; dangerous; swr = simple && not dangerous; graph }
+
+let check_exact ?(limit = 10_000) g =
+  let cycles = Position_graph.G.simple_cycles ~limit g in
+  let found =
+    List.exists
+      (fun cycle ->
+        List.exists (fun (e : Position_graph.G.edge) -> e.Position_graph.G.label.m) cycle
+        && List.exists (fun (e : Position_graph.G.edge) -> e.Position_graph.G.label.s) cycle)
+      cycles
+  in
+  if found then Some true
+  else if List.length cycles >= limit then None
+  else Some false

@@ -1,0 +1,29 @@
+(** Simply Weakly Recursive TGDs (Definition 5): a set [P] of simple TGDs is
+    SWR iff the position graph [AG(P)] has no cycle containing both an
+    m-edge and an s-edge. Theorem 1: every SWR set is FO-rewritable.
+
+    "Cycle" is decided per strongly connected component (closed-walk
+    reading): some SCC contains an m-edge and an s-edge among its internal
+    edges. {!check_exact} decides the simple-cycle reading by bounded
+    enumeration; the two agree on every program we generate (see the test
+    suite) and on all the paper's examples. *)
+
+open Tgd_logic
+
+type verdict = {
+  simple : bool;  (** is [P] a set of simple TGDs? SWR requires it *)
+  dangerous : bool;  (** does a cycle with both an m- and an s-edge exist? *)
+  swr : bool;  (** [simple && not dangerous] *)
+  graph : Position_graph.G.t;
+}
+
+val check : Program.t -> verdict
+
+val dangerous_cycle_in_graph : Position_graph.G.t -> bool
+(** The SCC-based cycle condition alone (also used on non-simple programs to
+    reproduce Figure 2's failure). *)
+
+val check_exact : ?limit:int -> Position_graph.G.t -> bool option
+(** Simple-cycle reading: [Some true] if an enumerated simple cycle carries
+    both labels, [Some false] if the exhaustive enumeration finished without
+    finding one, [None] if the enumeration budget was exhausted. *)

@@ -1,0 +1,36 @@
+
+type verdict = {
+  dangerous : bool;
+  wr : bool;
+  complete : bool;
+  graph : P_node_graph.result;
+}
+
+let dangerous_cycle_in_graph g =
+  P_node_graph.G.cyclic_scc_edge_labels_filtered ~keep:(fun (l : P_node_graph.label) -> not l.i) g
+  |> List.exists (fun labels ->
+         List.exists (fun (l : P_node_graph.label) -> l.d) labels
+         && List.exists (fun (l : P_node_graph.label) -> l.m) labels
+         && List.exists (fun (l : P_node_graph.label) -> l.s) labels)
+
+let check ?max_nodes p =
+  let graph = P_node_graph.build ?max_nodes p in
+  let dangerous = dangerous_cycle_in_graph graph.P_node_graph.graph in
+  let complete = graph.P_node_graph.complete in
+  { dangerous; wr = complete && not dangerous; complete; graph }
+
+let check_exact ?(limit = 10_000) g =
+  let keep (l : P_node_graph.label) = not l.i in
+  let cycles = P_node_graph.G.simple_cycles ~limit ~keep g in
+  let found =
+    List.exists
+      (fun cycle ->
+        let has f = List.exists (fun (e : P_node_graph.G.edge) -> f e.P_node_graph.G.label) cycle in
+        has (fun l -> l.P_node_graph.d)
+        && has (fun l -> l.P_node_graph.m)
+        && has (fun l -> l.P_node_graph.s))
+      cycles
+  in
+  if found then Some true
+  else if List.length cycles >= limit then None
+  else Some false

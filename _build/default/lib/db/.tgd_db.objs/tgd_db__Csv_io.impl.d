@@ -1,0 +1,1 @@
+lib/db/csv_io.ml: Array Buffer Format Instance List Printf String Symbol Tgd_logic Value

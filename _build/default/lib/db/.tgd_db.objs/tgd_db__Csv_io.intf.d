@@ -1,0 +1,1 @@
+lib/db/csv_io.mli: Instance Symbol Tgd_logic Tuple

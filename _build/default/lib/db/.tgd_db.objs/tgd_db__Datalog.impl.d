@@ -1,0 +1,1 @@
+lib/db/datalog.ml: Array Atom Eval Instance List Option Printf Program Symbol Term Tgd Tgd_logic Tuple Value

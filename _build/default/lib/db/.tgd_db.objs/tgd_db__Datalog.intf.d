@@ -1,0 +1,1 @@
+lib/db/datalog.mli: Instance Program Tgd_logic

@@ -1,0 +1,1 @@
+lib/db/eval.ml: Array Atom Cq Instance List Option Relation Symbol Term Tgd_logic Tuple Value

@@ -1,0 +1,1 @@
+lib/db/eval.mli: Atom Cq Instance Symbol Term Tgd_logic Tuple Value

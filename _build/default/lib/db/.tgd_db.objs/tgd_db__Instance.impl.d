@@ -1,0 +1,1 @@
+lib/db/instance.ml: Array Atom Format List Printf Relation Symbol Tgd_logic Tuple Value

@@ -1,0 +1,1 @@
+lib/db/instance.mli: Atom Format Relation Symbol Tgd_logic Tuple

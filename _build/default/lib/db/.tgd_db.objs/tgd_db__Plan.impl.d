@@ -1,0 +1,1 @@
+lib/db/plan.ml: Array Atom Cq Format Instance List Printf Relation Symbol Term Tgd_logic

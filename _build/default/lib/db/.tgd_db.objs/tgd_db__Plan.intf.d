@@ -1,0 +1,1 @@
+lib/db/plan.mli: Atom Cq Format Instance Symbol Tgd_logic

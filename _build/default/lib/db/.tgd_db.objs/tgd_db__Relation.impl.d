@@ -1,0 +1,1 @@
+lib/db/relation.ml: Array Hashtbl Option Tuple Value

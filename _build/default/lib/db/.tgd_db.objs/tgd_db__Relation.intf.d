@@ -1,0 +1,1 @@
+lib/db/relation.mli: Tuple Value

@@ -1,0 +1,1 @@
+lib/db/sql.ml: Array Atom Buffer Cq List Printf String Symbol Term Tgd_logic

@@ -1,0 +1,1 @@
+lib/db/tuple.ml: Array Format Hashtbl Int Value

@@ -1,0 +1,1 @@
+lib/db/tuple.mli: Format Hashtbl Value

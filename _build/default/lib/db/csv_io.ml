@@ -1,0 +1,108 @@
+open Tgd_logic
+
+(* Split one CSV record into fields, honouring double quotes. *)
+let split_fields line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec unquoted i =
+    if i >= n then flush_field ()
+    else
+      match line.[i] with
+      | ',' ->
+        flush_field ();
+        unquoted (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        unquoted (i + 1)
+  and quoted i =
+    if i >= n then failwith "unterminated quote"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> after_quote (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  and after_quote i =
+    if i >= n then flush_field ()
+    else
+      match line.[i] with
+      | ',' ->
+        flush_field ();
+        unquoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        after_quote (i + 1)
+  in
+  unquoted 0;
+  List.rev !fields
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match split_fields line with
+    | [] -> None
+    | pred :: args ->
+      let values = Array.of_list (List.map (fun s -> Value.const (String.trim s)) args) in
+      Some (Symbol.intern (String.trim pred), values)
+
+let load_string src =
+  let inst = Instance.create () in
+  let lines = String.split_on_char '\n' src in
+  let rec go lineno = function
+    | [] -> Ok inst
+    | line :: rest -> (
+      match parse_line line with
+      | exception Failure msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      | None -> go (lineno + 1) rest
+      | Some (pred, t) -> (
+        match Instance.add_fact inst pred t with
+        | _ -> go (lineno + 1) rest
+        | exception Invalid_argument msg -> Error (Printf.sprintf "line %d: %s" lineno msg)))
+  in
+  go 1 lines
+
+let load_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  load_string src
+
+let needs_quotes s = String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+
+let field_to_string s =
+  if needs_quotes s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let save_string inst =
+  let buf = Buffer.create 1024 in
+  let rows =
+    Instance.facts inst
+    |> List.map (fun (pred, t) ->
+           String.concat ","
+             (Symbol.name pred
+             :: Array.to_list (Array.map (fun v -> field_to_string (Format.asprintf "%a" Value.pp v)) t)))
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf row;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let save_file path inst =
+  let oc = open_out_bin path in
+  output_string oc (save_string inst);
+  close_out oc

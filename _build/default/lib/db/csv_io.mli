@@ -1,0 +1,28 @@
+(** Loading and saving instances as CSV — the pragmatic bridge to real
+    relational sources. One line per fact: the predicate name followed by
+    the argument values, comma-separated. Values may be double-quoted (with
+    [""] escaping a quote); unquoted values are trimmed. Lines that are
+    empty or start with [#] are skipped.
+
+    {v
+      takes_course,sam,db101
+      emp_record,"O'Hara, Ada",cs,prof
+    v} *)
+
+open Tgd_logic
+
+val parse_line : string -> (Symbol.t * Tuple.t) option
+(** [None] for blank/comment lines. Raises [Failure] on an unterminated
+    quote. *)
+
+val load_string : string -> (Instance.t, string) result
+(** Errors mention the offending 1-based line. *)
+
+val load_file : string -> (Instance.t, string) result
+
+val save_string : Instance.t -> string
+(** Deterministic order (sorted facts); nulls are written as [_nK] and
+    round-trip as ordinary constants — exporting a chased instance is lossy
+    by design. *)
+
+val save_file : string -> Instance.t -> unit

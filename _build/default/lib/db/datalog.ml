@@ -1,0 +1,63 @@
+open Tgd_logic
+
+type stats = {
+  rounds : int;
+  derived : int;
+}
+
+let head_tuple env (a : Atom.t) =
+  Array.map
+    (fun t ->
+      match t with
+      | Term.Const c -> Value.Const c
+      | Term.Var v -> (
+        match Symbol.Map.find_opt v env with
+        | Some value -> value
+        | None -> invalid_arg "Datalog: unbound head variable"))
+    a.Atom.args
+
+let saturate ?max_rounds program inst =
+  let rules = Program.tgds program in
+  List.iter
+    (fun r ->
+      if not (Symbol.Set.is_empty (Tgd.existential_head_vars r)) then
+        invalid_arg
+          (Printf.sprintf "Datalog.saturate: rule %s has existential head variables" r.Tgd.name))
+    rules;
+  let derived = ref 0 in
+  let rounds = ref 0 in
+  (* delta: facts added in the previous round, grouped by predicate. *)
+  let apply_rule ~delta (r : Tgd.t) ~emit =
+    let fire env = List.iter (fun h -> emit h.Atom.pred (head_tuple env h)) r.Tgd.head in
+    match delta with
+    | None -> Eval.bindings inst r.Tgd.body fire
+    | Some delta ->
+      (* Semi-naive: at least one body atom must match a delta fact; run one
+         pass per body-atom position forced into the delta. *)
+      List.iteri
+        (fun i (a : Atom.t) ->
+          match Symbol.Table.find_opt delta a.Atom.pred with
+          | None | Some [] -> ()
+          | Some tuples -> Eval.bindings ~forced:(i, tuples) inst r.Tgd.body fire)
+        r.Tgd.body
+  in
+  let run_round ~delta =
+    let next_delta : Tuple.t list Symbol.Table.t = Symbol.Table.create 16 in
+    let emit pred t =
+      if Instance.add_fact inst pred t then begin
+        incr derived;
+        let existing = Option.value ~default:[] (Symbol.Table.find_opt next_delta pred) in
+        Symbol.Table.replace next_delta pred (t :: existing)
+      end
+    in
+    List.iter (fun r -> apply_rule ~delta r ~emit) rules;
+    next_delta
+  in
+  let continue_ () = match max_rounds with None -> true | Some m -> !rounds < m in
+  let delta = ref (run_round ~delta:None) in
+  rounds := 1;
+  while Symbol.Table.length !delta > 0 && continue_ () do
+    delta := run_round ~delta:(Some !delta);
+    incr rounds
+  done;
+  { rounds = !rounds; derived = !derived }

@@ -1,0 +1,17 @@
+(** Semi-naive bottom-up evaluation of existential-free TGDs (plain Datalog
+    rules). Used as the materialization baseline for programs that do not
+    invent values. *)
+
+open Tgd_logic
+
+type stats = {
+  rounds : int;
+  derived : int;  (** facts added on top of the input instance *)
+}
+
+val saturate : ?max_rounds:int -> Program.t -> Instance.t -> stats
+(** Extend the instance in place with every derivable fact. Raises
+    [Invalid_argument] if some rule has an existential head variable.
+    [max_rounds] (default unlimited) caps the number of semi-naive rounds;
+    Datalog saturation always terminates, the cap exists for experiment
+    harnesses. *)

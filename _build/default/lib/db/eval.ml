@@ -1,0 +1,122 @@
+open Tgd_logic
+
+type env = Value.t Symbol.Map.t
+
+(* Try to match an atom against a tuple under [env]; return the extended
+   environment on success. *)
+let match_tuple env (a : Atom.t) (t : Tuple.t) =
+  let n = Array.length a.Atom.args in
+  if Array.length t <> n then None
+  else
+    let rec loop env i =
+      if i >= n then Some env
+      else
+        match a.Atom.args.(i) with
+        | Term.Const c -> if Value.equal t.(i) (Value.Const c) then loop env (i + 1) else None
+        | Term.Var v -> (
+          match Symbol.Map.find_opt v env with
+          | Some value -> if Value.equal t.(i) value then loop env (i + 1) else None
+          | None -> loop (Symbol.Map.add v t.(i) env) (i + 1))
+    in
+    loop env 0
+
+(* A bound position: one whose value is fixed by the environment. *)
+let bound_value env (a : Atom.t) i =
+  match a.Atom.args.(i) with
+  | Term.Const c -> Some (Value.Const c)
+  | Term.Var v -> Symbol.Map.find_opt v env
+
+let count_bound env a =
+  let n = Atom.arity a in
+  let rec loop i acc = if i >= n then acc else loop (i + 1) (acc + if Option.is_some (bound_value env a i) then 1 else 0) in
+  loop 0 0
+
+let relation_size inst (a : Atom.t) =
+  match Instance.relation inst a.Atom.pred with
+  | None -> 0
+  | Some rel -> Relation.cardinality rel
+
+(* Candidate tuples for an atom under [env]: an index lookup on the first
+   bound position if any, otherwise a full scan. *)
+let candidates inst env (a : Atom.t) =
+  match Instance.relation inst a.Atom.pred with
+  | None -> []
+  | Some rel ->
+    let n = Atom.arity a in
+    let rec first_bound i =
+      if i >= n then None
+      else match bound_value env a i with Some v -> Some (i, v) | None -> first_bound (i + 1)
+    in
+    (match first_bound 0 with
+    | Some (pos, v) -> Relation.lookup rel ~pos v
+    | None -> Relation.to_list rel)
+
+let bindings ?(init = Symbol.Map.empty) ?forced inst atoms k =
+  (* Tag atoms with their position so the forced atom can be recognised
+     after reordering. *)
+  let tagged = List.mapi (fun i a -> (i, a)) atoms in
+  let forced_index, forced_tuples =
+    match forced with Some (i, ts) -> (i, ts) | None -> (-1, [])
+  in
+  let rec go env remaining =
+    match remaining with
+    | [] -> k env
+    | _ ->
+      (* Adaptive greedy choice: forced atom first, then most bound
+         positions, then smaller relation. *)
+      let score (i, a) =
+        if i = forced_index then (max_int, 0)
+        else (count_bound env a, -relation_size inst a)
+      in
+      let best =
+        List.fold_left
+          (fun acc x ->
+            match acc with
+            | None -> Some x
+            | Some y -> if score x > score y then Some x else acc)
+          None remaining
+      in
+      (match best with
+      | None -> assert false
+      | Some ((i, a) as chosen) ->
+        let rest = List.filter (fun (j, _) -> j <> i) remaining in
+        ignore chosen;
+        let tuples = if i = forced_index then forced_tuples else candidates inst env a in
+        List.iter
+          (fun t -> match match_tuple env a t with None -> () | Some env' -> go env' rest)
+          tuples)
+  in
+  go init tagged
+
+let answer_tuple env answer =
+  let value = function
+    | Term.Const c -> Value.Const c
+    | Term.Var v -> (
+      match Symbol.Map.find_opt v env with
+      | Some value -> value
+      | None -> invalid_arg "Eval.answer_tuple: unbound answer variable")
+  in
+  Array.of_list (List.map value answer)
+
+let collect inst (q : Cq.t) acc =
+  bindings inst q.Cq.body (fun env ->
+      let t = answer_tuple env q.Cq.answer in
+      if not (Tuple.Table.mem acc t) then Tuple.Table.add acc t ())
+
+let cq inst q =
+  let acc = Tuple.Table.create 64 in
+  collect inst q acc;
+  Tuple.Table.fold (fun t () l -> t :: l) acc [] |> List.sort Tuple.compare
+
+exception Found
+
+let cq_exists inst q =
+  try
+    bindings inst q.Cq.body (fun _ -> raise Found);
+    false
+  with Found -> true
+
+let ucq inst disjuncts =
+  let acc = Tuple.Table.create 64 in
+  List.iter (fun q -> collect inst q acc) disjuncts;
+  Tuple.Table.fold (fun t () l -> t :: l) acc [] |> List.sort Tuple.compare

@@ -1,0 +1,34 @@
+(** Conjunctive-query evaluation over an instance.
+
+    The evaluator performs an index-nested-loop join with an adaptive greedy
+    plan: at every step the next atom is the one with the most bound
+    positions, breaking ties towards the smaller relation. Bound positions
+    are served from the per-column hash indexes of {!Relation}. *)
+
+open Tgd_logic
+
+type env = Value.t Symbol.Map.t
+(** A variable assignment. *)
+
+val bindings :
+  ?init:env -> ?forced:int * Tuple.t list -> Instance.t -> Atom.t list -> (env -> unit) -> unit
+(** [bindings inst atoms k] calls [k] on every assignment of the variables of
+    [atoms] that makes all atoms true in [inst]. [init] pre-binds variables
+    (default empty). With [~forced:(i, tuples)], the [i]-th atom (0-based, in
+    list order) ranges over [tuples] instead of its full relation — the hook
+    used by semi-naive Datalog evaluation. *)
+
+val answer_tuple : env -> Term.t list -> Tuple.t
+(** Build the answer tuple for the given answer terms under an assignment.
+    Raises [Invalid_argument] if an answer variable is unbound. *)
+
+val cq : Instance.t -> Cq.t -> Tuple.t list
+(** All answers, deduplicated and sorted. For a boolean query the answer is
+    [[ [||] ]] (one empty tuple) if the body is satisfiable and [[]]
+    otherwise. *)
+
+val cq_exists : Instance.t -> Cq.t -> bool
+(** Does the query have at least one answer? *)
+
+val ucq : Instance.t -> Cq.ucq -> Tuple.t list
+(** Union of the answers of the disjuncts, deduplicated and sorted. *)

@@ -1,0 +1,31 @@
+(** A database instance: one relation per predicate. *)
+
+open Tgd_logic
+
+type t
+
+type fact = Symbol.t * Tuple.t
+
+val create : unit -> t
+val copy : t -> t
+
+val add_fact : t -> Symbol.t -> Tuple.t -> bool
+(** [true] iff the fact is new. Creates the relation on first use; raises
+    [Invalid_argument] if the predicate was already used with another
+    arity. *)
+
+val add_ground_atom : t -> Atom.t -> bool
+(** The atom must be ground (constants only). *)
+
+val relation : t -> Symbol.t -> Relation.t option
+val predicates : t -> (Symbol.t * int) list
+val cardinality : t -> int
+val iter_facts : (fact -> unit) -> t -> unit
+val facts : t -> fact list
+
+val to_atoms : t -> Atom.t list
+(** Every fact as an atom; nulls become variables (frozen-instance view used
+    by homomorphism checks). *)
+
+val of_atoms : Atom.t list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+open Tgd_logic
+
+type access =
+  | Scan
+  | Index_lookup of int
+
+type step = {
+  atom : Atom.t;
+  access : access;
+  bound_vars : Symbol.Set.t;
+  relation_rows : int;
+}
+
+type t = step list
+
+let relation_rows inst (a : Atom.t) =
+  match Instance.relation inst a.Atom.pred with
+  | None -> 0
+  | Some rel -> Relation.cardinality rel
+
+(* A position is bound if it holds a constant or an already-bound
+   variable. *)
+let bound_positions bound (a : Atom.t) =
+  let acc = ref [] in
+  Array.iteri
+    (fun i t ->
+      match t with
+      | Term.Const _ -> acc := i :: !acc
+      | Term.Var v -> if Symbol.Set.mem v bound then acc := i :: !acc)
+    a.Atom.args;
+  List.rev !acc
+
+let choose inst (q : Cq.t) =
+  let rec loop bound remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let score a = (List.length (bound_positions bound a), -relation_rows inst a) in
+      let best =
+        List.fold_left
+          (fun best a ->
+            match best with
+            | None -> Some a
+            | Some b -> if score a > score b then Some a else best)
+          None remaining
+      in
+      (match best with
+      | None -> List.rev acc
+      | Some a ->
+        let access =
+          match bound_positions bound a with [] -> Scan | pos :: _ -> Index_lookup pos
+        in
+        let step = { atom = a; access; bound_vars = bound; relation_rows = relation_rows inst a } in
+        let bound = Symbol.Set.union bound (Atom.vars a) in
+        let rest = List.filter (fun a' -> not (a' == a)) remaining in
+        loop bound rest (step :: acc))
+  in
+  loop Symbol.Set.empty q.Cq.body []
+
+let pp ppf plan =
+  List.iteri
+    (fun i s ->
+      let access =
+        match s.access with
+        | Scan -> "scan"
+        | Index_lookup pos -> Printf.sprintf "index probe on c%d" (pos + 1)
+      in
+      Format.fprintf ppf "%d. %a  via %s (%d rows)@." (i + 1) Atom.pp s.atom access
+        s.relation_rows)
+    plan
+
+let explain inst q = Format.asprintf "%a" pp (choose inst q)

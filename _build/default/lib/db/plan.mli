@@ -1,0 +1,26 @@
+(** Static join plans — an inspectable rendition of the greedy policy that
+    {!Eval} applies adaptively: order atoms by (most bound positions,
+    smallest relation), serve each atom from a per-column index when some
+    position is bound, scan otherwise. [explain] is what the [obda]
+    CLI prints; the actual evaluator re-derives the choice at run time with
+    live bindings, so the static plan is a faithful preview, not a separate
+    execution engine. *)
+
+open Tgd_logic
+
+type access =
+  | Scan  (** full relation scan *)
+  | Index_lookup of int  (** hash-index probe on a 0-based column *)
+
+type step = {
+  atom : Atom.t;
+  access : access;
+  bound_vars : Symbol.Set.t;  (** variables bound before this step *)
+  relation_rows : int;  (** cardinality of the atom's relation *)
+}
+
+type t = step list
+
+val choose : Instance.t -> Cq.t -> t
+val pp : Format.formatter -> t -> unit
+val explain : Instance.t -> Cq.t -> string

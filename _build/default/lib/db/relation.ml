@@ -1,0 +1,51 @@
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  arity : int;
+  rows : unit Tuple.Table.t;
+  indexes : Tuple.t list Vtbl.t option array; (* one optional index per column *)
+}
+
+let create ~arity =
+  if arity < 0 then invalid_arg "Relation.create: negative arity";
+  { arity; rows = Tuple.Table.create 64; indexes = Array.make (max arity 1) None }
+
+let arity r = r.arity
+let cardinality r = Tuple.Table.length r.rows
+let mem r t = Tuple.Table.mem r.rows t
+
+let index_insert idx t pos =
+  let key = t.(pos) in
+  let existing = Option.value ~default:[] (Vtbl.find_opt idx key) in
+  Vtbl.replace idx key (t :: existing)
+
+let insert r t =
+  if Array.length t <> r.arity then invalid_arg "Relation.insert: arity mismatch";
+  if Tuple.Table.mem r.rows t then false
+  else begin
+    Tuple.Table.add r.rows t ();
+    Array.iteri
+      (fun pos idx -> match idx with None -> () | Some idx -> index_insert idx t pos)
+      r.indexes;
+    true
+  end
+
+let iter f r = Tuple.Table.iter (fun t () -> f t) r.rows
+let fold f r init = Tuple.Table.fold (fun t () acc -> f t acc) r.rows init
+let to_list r = fold (fun t acc -> t :: acc) r []
+
+let build_index r pos =
+  let idx = Vtbl.create (max 64 (cardinality r)) in
+  iter (fun t -> index_insert idx t pos) r;
+  r.indexes.(pos) <- Some idx;
+  idx
+
+let lookup r ~pos v =
+  if pos < 0 || pos >= r.arity then invalid_arg "Relation.lookup: position out of range";
+  let idx = match r.indexes.(pos) with Some idx -> idx | None -> build_index r pos in
+  Option.value ~default:[] (Vtbl.find_opt idx v)

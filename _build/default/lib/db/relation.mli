@@ -1,0 +1,21 @@
+(** A mutable extensional relation: a set of tuples of a fixed arity with
+    per-column hash indexes (built lazily, maintained incrementally). *)
+
+type t
+
+val create : arity:int -> t
+val arity : t -> int
+val cardinality : t -> int
+
+val insert : t -> Tuple.t -> bool
+(** [true] iff the tuple was not already present. Raises [Invalid_argument]
+    on an arity mismatch. *)
+
+val mem : t -> Tuple.t -> bool
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+
+val lookup : t -> pos:int -> Value.t -> Tuple.t list
+(** Tuples whose 0-based column [pos] holds the given value; backed by a
+    hash index built on first use for that column. *)

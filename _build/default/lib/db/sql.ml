@@ -1,0 +1,65 @@
+open Tgd_logic
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let of_cq (q : Cq.t) =
+  let buf = Buffer.create 256 in
+  (* First column where each variable occurs. *)
+  let first_col : string Symbol.Table.t = Symbol.Table.create 16 in
+  let conditions = ref [] in
+  let froms =
+    List.mapi
+      (fun k (a : Atom.t) ->
+        let alias = Printf.sprintf "t%d" k in
+        Array.iteri
+          (fun i t ->
+            let col = Printf.sprintf "%s.c%d" alias (i + 1) in
+            match t with
+            | Term.Const c -> conditions := Printf.sprintf "%s = %s" col (quote (Symbol.name c)) :: !conditions
+            | Term.Var v -> (
+              match Symbol.Table.find_opt first_col v with
+              | Some col0 -> conditions := Printf.sprintf "%s = %s" col0 col :: !conditions
+              | None -> Symbol.Table.add first_col v col))
+          a.Atom.args;
+        Printf.sprintf "%s AS %s" (Symbol.name a.Atom.pred) alias)
+      q.Cq.body
+  in
+  let select_items =
+    match q.Cq.answer with
+    | [] -> [ "1 AS sat" ]
+    | answer ->
+      List.mapi
+        (fun i t ->
+          let expr =
+            match t with
+            | Term.Const c -> quote (Symbol.name c)
+            | Term.Var v -> (
+              match Symbol.Table.find_opt first_col v with
+              | Some col -> col
+              | None -> invalid_arg "Sql.of_cq: unsafe query")
+          in
+          Printf.sprintf "%s AS a%d" expr (i + 1))
+        answer
+  in
+  Buffer.add_string buf "SELECT DISTINCT ";
+  Buffer.add_string buf (String.concat ", " select_items);
+  Buffer.add_string buf "\nFROM ";
+  Buffer.add_string buf (String.concat ", " froms);
+  (match List.rev !conditions with
+  | [] -> ()
+  | conds ->
+    Buffer.add_string buf "\nWHERE ";
+    Buffer.add_string buf (String.concat " AND " conds));
+  Buffer.contents buf
+
+let of_ucq = function
+  | [] -> invalid_arg "Sql.of_ucq: empty UCQ"
+  | disjuncts -> String.concat "\nUNION\n" (List.map of_cq disjuncts)

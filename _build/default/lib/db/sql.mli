@@ -1,0 +1,20 @@
+(** Translation of (unions of) conjunctive queries to SQL.
+
+    This is the "FO-rewritability in practice" endpoint of the paper: once a
+    UCQ rewriting exists, certain answers are computed by an ordinary SQL
+    query over the original database (Definition 1). Predicates become table
+    names; column [i] of predicate [p] is named [ci]. *)
+
+open Tgd_logic
+
+val of_cq : Cq.t -> string
+(** A [SELECT DISTINCT ... FROM ... WHERE ...] statement. Boolean queries
+    produce [SELECT DISTINCT 1 AS sat ...]. *)
+
+val of_ucq : Cq.ucq -> string
+(** The disjuncts joined with [UNION]. Raises [Invalid_argument] on an empty
+    UCQ (the empty union has no SQL form; handle unsatisfiable rewritings at
+    the caller). *)
+
+val quote : string -> string
+(** SQL string literal with quote doubling. *)

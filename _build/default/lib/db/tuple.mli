@@ -1,0 +1,12 @@
+(** Database tuples. *)
+
+type t = Value.t array
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val has_null : t -> bool
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,38 @@
+module Symbol = Tgd_logic.Symbol
+module Term = Tgd_logic.Term
+
+type t =
+  | Const of Symbol.t
+  | Null of int
+
+let const s = Const (Symbol.intern s)
+let is_null = function Null _ -> true | Const _ -> false
+
+let equal v1 v2 =
+  match v1, v2 with
+  | Const c1, Const c2 -> Symbol.equal c1 c2
+  | Null n1, Null n2 -> Int.equal n1 n2
+  | Const _, Null _ | Null _, Const _ -> false
+
+let compare v1 v2 =
+  match v1, v2 with
+  | Const c1, Const c2 -> Symbol.compare c1 c2
+  | Null n1, Null n2 -> Int.compare n1 n2
+  | Const _, Null _ -> -1
+  | Null _, Const _ -> 1
+
+let hash = function
+  | Const c -> 2 * Symbol.hash c
+  | Null n -> (2 * n) + 1
+
+let pp ppf = function
+  | Const c -> Symbol.pp ppf c
+  | Null n -> Format.fprintf ppf "_n%d" n
+
+let of_term = function
+  | Term.Const c -> Const c
+  | Term.Var _ -> invalid_arg "Value.of_term: variable"
+
+let to_term = function
+  | Const c -> Term.Const c
+  | Null n -> Term.Var (Symbol.intern (Printf.sprintf "_n%d" n))

@@ -1,0 +1,22 @@
+(** Database values: constants and labeled nulls.
+
+    Labeled nulls are the fresh witnesses invented by the chase for
+    existential head variables; they never compare equal to any constant. *)
+
+type t =
+  | Const of Tgd_logic.Symbol.t
+  | Null of int
+
+val const : string -> t
+val is_null : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val of_term : Tgd_logic.Term.t -> t
+(** Converts a constant; raises [Invalid_argument] on a variable. *)
+
+val to_term : t -> Tgd_logic.Term.t
+(** Constants map back to constants; nulls map to variables named ["_nK"]
+    (used to re-express an instance as atoms). *)

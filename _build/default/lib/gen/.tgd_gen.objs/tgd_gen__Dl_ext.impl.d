@@ -1,0 +1,1 @@
+lib/gen/dl_ext.ml: Atom Format List Printf Program Rng String Term Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/gen/dl_ext.mli: Atom Format Program Rng Tgd Tgd_logic

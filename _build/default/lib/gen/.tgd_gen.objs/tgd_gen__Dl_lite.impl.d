@@ -1,0 +1,1 @@
+lib/gen/dl_lite.ml: Atom Format List Printf Program Rng Term Tgd Tgd_chase Tgd_logic

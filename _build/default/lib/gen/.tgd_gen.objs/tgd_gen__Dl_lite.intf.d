@@ -1,0 +1,1 @@
+lib/gen/dl_lite.mli: Format Program Rng Tgd Tgd_chase Tgd_logic

@@ -1,0 +1,1 @@
+lib/gen/gen_db.ml: Array Instance List Printf Program Rng Symbol Tgd_db Tgd_logic Value

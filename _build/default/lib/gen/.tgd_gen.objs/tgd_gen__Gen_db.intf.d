@@ -1,0 +1,1 @@
+lib/gen/gen_db.mli: Instance Program Rng Symbol Tgd_db Tgd_logic

@@ -1,0 +1,1 @@
+lib/gen/gen_tgd.ml: Array Atom Hashtbl List Printf Program Rng Symbol Term Tgd Tgd_logic

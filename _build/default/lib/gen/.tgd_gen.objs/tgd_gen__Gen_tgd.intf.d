@@ -1,0 +1,1 @@
+lib/gen/gen_tgd.mli: Program Rng Tgd_logic

@@ -1,0 +1,1 @@
+lib/gen/university.ml: Array Atom Cq Instance List Printf Program Rng Symbol Term Tgd Tgd_db Tgd_logic Value

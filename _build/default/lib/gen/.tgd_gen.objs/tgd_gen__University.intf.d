@@ -1,0 +1,1 @@
+lib/gen/university.mli: Cq Instance Program Rng Tgd_db Tgd_logic

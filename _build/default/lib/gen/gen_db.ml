@@ -1,0 +1,34 @@
+open Tgd_logic
+open Tgd_db
+
+let random_facts_for rng signature ~facts_per_predicate ~domain_size =
+  let inst = Instance.create () in
+  List.iter
+    (fun (pred, arity) ->
+      for _ = 1 to facts_per_predicate do
+        let t =
+          Array.init arity (fun _ -> Value.const (Printf.sprintf "d%d" (Rng.int rng domain_size)))
+        in
+        ignore (Instance.add_fact inst pred t)
+      done)
+    signature;
+  inst
+
+let random_instance rng p ~facts_per_predicate ~domain_size =
+  let inst = random_facts_for rng (Program.predicates p) ~facts_per_predicate ~domain_size in
+  (* Sprinkle the program's own constants so that constant joins in rules
+     can fire. *)
+  let constants = Symbol.Set.elements (Program.constants p) in
+  if constants <> [] then
+    List.iter
+      (fun (pred, arity) ->
+        for _ = 1 to max 1 (facts_per_predicate / 10) do
+          let t =
+            Array.init arity (fun _ ->
+                if Rng.bool rng 0.5 then Value.Const (Rng.choose rng constants)
+                else Value.const (Printf.sprintf "d%d" (Rng.int rng domain_size)))
+          in
+          ignore (Instance.add_fact inst pred t)
+        done)
+      (Program.predicates p);
+  inst

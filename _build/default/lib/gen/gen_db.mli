@@ -1,0 +1,13 @@
+(** Random database instances over a program's signature. *)
+
+open Tgd_logic
+open Tgd_db
+
+val random_instance :
+  Rng.t -> Program.t -> facts_per_predicate:int -> domain_size:int -> Instance.t
+(** Uniform random tuples over a constant domain [d0..d{domain_size-1}]
+    (plus the program's own constants, which appear with small
+    probability). *)
+
+val random_facts_for :
+  Rng.t -> (Symbol.t * int) list -> facts_per_predicate:int -> domain_size:int -> Instance.t

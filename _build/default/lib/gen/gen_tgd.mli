@@ -1,0 +1,52 @@
+(** Random TGD workloads.
+
+    Two kinds of generators:
+    - {b constructive} per-class families (every output is a member of the
+      class by construction), used for the subsumption experiment E5 and the
+      scaling experiments E6/E7;
+    - a {b free} generator with tunable rates, combined with
+      generate-and-filter acceptance sampling for classes without an easy
+      constructive shape (sticky, sticky-join). *)
+
+open Tgd_logic
+
+type config = {
+  n_predicates : int;
+  max_arity : int;
+  n_rules : int;
+  max_body_atoms : int;
+  max_head_atoms : int;
+  existential_rate : float;  (** probability that a head position is fresh *)
+  constant_rate : float;  (** probability that a body position is a constant *)
+  repeat_rate : float;  (** probability of reusing a variable already in the atom *)
+  n_constants : int;
+}
+
+val default_config : config
+
+val random_program : ?name:string -> Rng.t -> config -> Program.t
+(** Free generator; no class guarantee. *)
+
+val random_simple_program : ?name:string -> Rng.t -> config -> Program.t
+(** Free generator restricted to simple TGDs (no constants, no repeated
+    variables, single-head). *)
+
+val simple_linear : ?name:string -> Rng.t -> n_rules:int -> n_predicates:int -> max_arity:int -> Program.t
+(** Constructive: simple TGDs with a single body atom. *)
+
+val simple_multilinear : ?name:string -> Rng.t -> n_rules:int -> n_predicates:int -> arity:int -> Program.t
+(** Constructive: every body atom contains all body variables (bodies are
+    permutations of one variable tuple over same-arity predicates). *)
+
+val sample_in_class :
+  ?max_tries:int -> (Program.t -> bool) -> (unit -> Program.t) -> Program.t option
+(** Acceptance sampling: draw programs until the predicate holds. *)
+
+val chain : ?name:string -> depth:int -> Program.t
+(** Deterministic family: r0(x,y) -> r1(x,z); r1(x,y) -> r2(x,z); ...
+    Linear, SWR; position-graph size grows linearly with depth — used for
+    the E6 scaling bench. *)
+
+val wide_star : ?name:string -> width:int -> Program.t
+(** Deterministic family: hub(x), spoke_i(x,y_i) -> hub_i(y_i), one rule per
+    spoke — multi-atom bodies exercising m-edges. *)

@@ -1,0 +1,44 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+(* SplitMix64 step. *)
+let next64 g =
+  g.state <- Int64.add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits: OCaml's native int is 63-bit, so a 63-bit logical shift
+     could still land on the sign bit after [Int64.to_int]. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next64 g) 2) in
+  v mod n
+
+let float g =
+  let v = Int64.to_float (Int64.shift_right_logical (next64 g) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool g p = float g < p
+
+let choose g l =
+  match l with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let choose_array g a =
+  if Array.length a = 0 then invalid_arg "Rng.choose_array: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,24 @@
+(** Deterministic SplitMix64 PRNG. All workload generators take an explicit
+    generator so that every experiment is reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int g n] is uniform in [0, n); [n] must be positive. *)
+
+val bool : t -> float -> bool
+(** [bool g p] is [true] with probability [p]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element; the list must be non-empty. *)
+
+val choose_array : t -> 'a array -> 'a
+val shuffle : t -> 'a list -> 'a list

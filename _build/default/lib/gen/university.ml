@@ -1,0 +1,176 @@
+open Tgd_logic
+open Tgd_db
+
+let v = Term.var
+let atom p args = Atom.of_strings p args
+
+let rule name body head = Tgd.make ~name ~body ~head
+
+let ontology =
+  let rules =
+    [
+      (* Faculty taxonomy. *)
+      rule "full_prof" [ atom "full_professor" [ v "X" ] ] [ atom "professor" [ v "X" ] ];
+      rule "assoc_prof" [ atom "associate_professor" [ v "X" ] ] [ atom "professor" [ v "X" ] ];
+      rule "prof_fac" [ atom "professor" [ v "X" ] ] [ atom "faculty" [ v "X" ] ];
+      rule "lect_fac" [ atom "lecturer" [ v "X" ] ] [ atom "faculty" [ v "X" ] ];
+      rule "fac_emp" [ atom "faculty" [ v "X" ] ] [ atom "employee" [ v "X" ] ];
+      rule "emp_person" [ atom "employee" [ v "X" ] ] [ atom "person" [ v "X" ] ];
+      (* Student taxonomy. *)
+      rule "under_stud" [ atom "undergraduate" [ v "X" ] ] [ atom "student" [ v "X" ] ];
+      rule "grad_stud" [ atom "graduate" [ v "X" ] ] [ atom "student" [ v "X" ] ];
+      rule "stud_person" [ atom "student" [ v "X" ] ] [ atom "person" [ v "X" ] ];
+      (* Organizations. *)
+      rule "dept_org" [ atom "department" [ v "X" ] ] [ atom "organization" [ v "X" ] ];
+      rule "univ_org" [ atom "university" [ v "X" ] ] [ atom "organization" [ v "X" ] ];
+      (* Role domains and ranges. *)
+      rule "teach_dom"
+        [ atom "teacher_of" [ v "X"; v "Y" ] ]
+        [ atom "faculty" [ v "X" ]; atom "course" [ v "Y" ] ];
+      rule "takes_dom"
+        [ atom "takes_course" [ v "X"; v "Y" ] ]
+        [ atom "student" [ v "X" ]; atom "course" [ v "Y" ] ];
+      rule "advisor_dom"
+        [ atom "advisor" [ v "X"; v "Y" ] ]
+        [ atom "student" [ v "X" ]; atom "faculty" [ v "Y" ] ];
+      rule "works_dom"
+        [ atom "works_for" [ v "X"; v "Y" ] ]
+        [ atom "employee" [ v "X" ]; atom "organization" [ v "Y" ] ];
+      rule "member_dom"
+        [ atom "member_of" [ v "X"; v "Y" ] ]
+        [ atom "person" [ v "X" ]; atom "organization" [ v "Y" ] ];
+      rule "sub_org"
+        [ atom "sub_organization_of" [ v "X"; v "Y" ] ]
+        [ atom "organization" [ v "X" ]; atom "organization" [ v "Y" ] ];
+      rule "head_works" [ atom "head_of" [ v "X"; v "Y" ] ] [ atom "works_for" [ v "X"; v "Y" ] ];
+      (* Existential axioms: value invention. *)
+      rule "fac_teaches" [ atom "faculty" [ v "X" ] ] [ atom "teacher_of" [ v "X"; v "C" ] ];
+      rule "emp_works" [ atom "employee" [ v "X" ] ] [ atom "works_for" [ v "X"; v "O" ] ];
+      rule "stud_member" [ atom "student" [ v "X" ] ] [ atom "member_of" [ v "X"; v "O" ] ];
+      rule "dept_in_univ"
+        [ atom "department" [ v "X" ] ]
+        [ atom "sub_organization_of" [ v "X"; v "U" ] ];
+      (* Research and publications. *)
+      rule "group_org" [ atom "research_group" [ v "X" ] ] [ atom "organization" [ v "X" ] ];
+      rule "group_in_dept"
+        [ atom "research_group" [ v "X" ] ]
+        [ atom "sub_organization_of" [ v "X"; v "D" ] ];
+      rule "ta_dom"
+        [ atom "teaching_assistant_of" [ v "X"; v "C" ] ]
+        [ atom "graduate" [ v "X" ]; atom "course" [ v "C" ] ];
+      rule "ra_grad" [ atom "research_assistant" [ v "X" ] ] [ atom "graduate" [ v "X" ] ];
+      rule "author_dom"
+        [ atom "author_of" [ v "X"; v "P" ] ]
+        [ atom "person" [ v "X" ]; atom "publication" [ v "P" ] ];
+      rule "degree_dom"
+        [ atom "degree_from" [ v "X"; v "U" ] ]
+        [ atom "person" [ v "X" ]; atom "university" [ v "U" ] ];
+      rule "grad_degree" [ atom "graduate" [ v "X" ] ] [ atom "degree_from" [ v "X"; v "U" ] ];
+      (* A multi-atom-body derived role: department chairs. *)
+      rule "chair_def"
+        [ atom "professor" [ v "X" ]; atom "head_of" [ v "X"; v "D" ]; atom "department" [ v "D" ] ]
+        [ atom "chair" [ v "X" ] ];
+      rule "chair_prof" [ atom "chair" [ v "X" ] ] [ atom "professor" [ v "X" ] ];
+    ]
+  in
+  Program.make_exn ~name:"university" rules
+
+let queries =
+  [
+    (* Q1: all persons. Requires the full taxonomy. *)
+    Cq.make ~name:"q1_persons" ~answer:[ v "X" ] ~body:[ atom "person" [ v "X" ] ];
+    (* Q2: students with the organization they are members of. *)
+    Cq.make ~name:"q2_membership" ~answer:[ v "X"; v "O" ]
+      ~body:[ atom "student" [ v "X" ]; atom "member_of" [ v "X"; v "O" ] ];
+    (* Q3: advisor pairs where the advisor teaches some course. *)
+    Cq.make ~name:"q3_advised_teaching" ~answer:[ v "S"; v "A" ]
+      ~body:[ atom "advisor" [ v "S"; v "A" ]; atom "teacher_of" [ v "A"; v "C" ] ];
+    (* Q4: boolean — is there a professor working for some organization? *)
+    Cq.make ~name:"q4_prof_org" ~answer:[]
+      ~body:[ atom "professor" [ v "X" ]; atom "works_for" [ v "X"; v "O" ] ];
+    (* Q5: classmates: two students taking the same course. *)
+    Cq.make ~name:"q5_classmates" ~answer:[ v "X"; v "Y" ]
+      ~body:[ atom "takes_course" [ v "X"; v "C" ]; atom "takes_course" [ v "Y"; v "C" ] ];
+    (* Q6: department chairs (multi-atom-body rule). *)
+    Cq.make ~name:"q6_chairs" ~answer:[ v "X" ] ~body:[ atom "chair" [ v "X" ] ];
+    (* Q7: graduates holding a degree from somewhere (existential axiom:
+       true of every graduate, but only constants count as answers). *)
+    Cq.make ~name:"q7_degrees" ~answer:[ v "X"; v "U" ]
+      ~body:[ atom "graduate" [ v "X" ]; atom "degree_from" [ v "X"; v "U" ] ];
+    (* Q8: authors publishing with their advisor. *)
+    Cq.make ~name:"q8_coauthors" ~answer:[ v "S"; v "A" ]
+      ~body:
+        [
+          atom "advisor" [ v "S"; v "A" ];
+          atom "author_of" [ v "S"; v "P" ];
+          atom "author_of" [ v "A"; v "P" ];
+        ];
+  ]
+
+let generate_data rng ~scale =
+  let inst = Instance.create () in
+  let add pred values =
+    ignore (Instance.add_fact inst (Symbol.intern pred) (Array.of_list (List.map Value.const values)))
+  in
+  let n_univ = max 1 (scale / 200) in
+  let n_dept = max 2 (scale / 20) in
+  let n_faculty = max 3 (scale / 5) in
+  let n_course = max 4 (scale / 3) in
+  let univ i = Printf.sprintf "univ%d" i in
+  let dept i = Printf.sprintf "dept%d" i in
+  let fac i = Printf.sprintf "fac%d" i in
+  let course i = Printf.sprintf "course%d" i in
+  let student i = Printf.sprintf "student%d" i in
+  for i = 0 to n_univ - 1 do
+    add "university" [ univ i ]
+  done;
+  for i = 0 to n_dept - 1 do
+    add "department" [ dept i ];
+    add "sub_organization_of" [ dept i; univ (Rng.int rng n_univ) ]
+  done;
+  for i = 0 to n_faculty - 1 do
+    let tag =
+      Rng.choose rng [ "full_professor"; "associate_professor"; "lecturer" ]
+    in
+    add tag [ fac i ];
+    add "works_for" [ fac i; dept (Rng.int rng n_dept) ];
+    (match Rng.int rng 10 with 0 -> add "head_of" [ fac i; dept (Rng.int rng n_dept) ] | _ -> ())
+  done;
+  for i = 0 to n_course - 1 do
+    add "teacher_of" [ fac (Rng.int rng n_faculty); course i ]
+  done;
+  let n_group = max 1 (scale / 40) in
+  let n_pub = max 2 (scale / 4) in
+  let group i = Printf.sprintf "group%d" i in
+  let pub i = Printf.sprintf "pub%d" i in
+  for i = 0 to n_group - 1 do
+    add "research_group" [ group i ]
+  done;
+  for i = 0 to n_pub - 1 do
+    (* Faculty author; sometimes a co-author. *)
+    add "author_of" [ fac (Rng.int rng n_faculty); pub i ]
+  done;
+  for i = 0 to scale - 1 do
+    let tag = if Rng.bool rng 0.7 then "undergraduate" else "graduate" in
+    add tag [ student i ];
+    add "member_of" [ student i; dept (Rng.int rng n_dept) ];
+    let n_courses = 1 + Rng.int rng 4 in
+    for _ = 1 to n_courses do
+      add "takes_course" [ student i; course (Rng.int rng n_course) ]
+    done;
+    if Rng.bool rng 0.4 then begin
+      let adv = Rng.int rng n_faculty in
+      add "advisor" [ student i; fac adv ];
+      (* some advised students co-author with their advisor *)
+      if Rng.bool rng 0.3 then begin
+        let p = Rng.int rng n_pub in
+        add "author_of" [ student i; pub p ];
+        add "author_of" [ fac adv; pub p ]
+      end
+    end;
+    if tag = "graduate" then begin
+      if Rng.bool rng 0.3 then add "teaching_assistant_of" [ student i; course (Rng.int rng n_course) ];
+      if Rng.bool rng 0.5 then add "degree_from" [ student i; univ (Rng.int rng n_univ) ]
+    end
+  done;
+  inst

@@ -1,0 +1,21 @@
+(** A LUBM-style university ontology and data generator — the end-to-end
+    OBDA scenario (experiment E8): the TGDs are FO-rewritable, so certain
+    answers computed by rewriting + evaluation must coincide with chase
+    materialization.
+
+    The data generator produces only facts over the "extensional" predicates
+    (enrollments, teaching assignments, memberships, role tags); all
+    taxonomy predicates (person, faculty, organization, ...) are derived by
+    the ontology — a query for [person] finds nothing without reasoning. *)
+
+open Tgd_logic
+open Tgd_db
+
+val ontology : Program.t
+
+val queries : Cq.t list
+(** LUBM-flavoured test queries over the ontology vocabulary. *)
+
+val generate_data : Rng.t -> scale:int -> Instance.t
+(** Roughly [scale] students with their courses, advisors, departments;
+    fact count grows linearly with [scale]. *)

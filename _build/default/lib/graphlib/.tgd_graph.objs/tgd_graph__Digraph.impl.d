@@ -1,0 +1,1 @@
+lib/graphlib/digraph.ml: Array Buffer Format Hashtbl Int_digraph List Option Printf String

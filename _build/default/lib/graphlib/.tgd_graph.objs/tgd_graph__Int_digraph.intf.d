@@ -1,0 +1,1 @@
+lib/graphlib/int_digraph.mli:

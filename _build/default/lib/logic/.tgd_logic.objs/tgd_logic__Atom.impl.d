@@ -1,0 +1,1 @@
+lib/logic/atom.ml: Array Format Hashtbl Int Set Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/containment.ml: Cq Homomorphism Int List Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/containment.mli: Cq

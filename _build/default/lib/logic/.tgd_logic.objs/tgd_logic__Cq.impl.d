@@ -1,0 +1,1 @@
+lib/logic/cq.ml: Atom Format List Printf Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/cq.mli: Atom Format Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/homomorphism.ml: Array Atom Int List Option Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/homomorphism.mli: Atom Symbol Term

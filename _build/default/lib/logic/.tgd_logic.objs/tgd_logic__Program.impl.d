@@ -1,0 +1,1 @@
+lib/logic/program.ml: Atom Format List Printf Symbol Tgd

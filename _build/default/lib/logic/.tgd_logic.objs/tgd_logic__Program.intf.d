@@ -1,0 +1,1 @@
+lib/logic/program.mli: Format Symbol Tgd

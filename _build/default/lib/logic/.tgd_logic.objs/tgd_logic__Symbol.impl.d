@@ -1,0 +1,1 @@
+lib/logic/symbol.ml: Array Format Hashtbl Int Map Printf Set

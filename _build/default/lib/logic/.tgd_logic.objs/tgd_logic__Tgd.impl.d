@@ -1,0 +1,1 @@
+lib/logic/tgd.ml: Atom Format List Printf String Symbol Term

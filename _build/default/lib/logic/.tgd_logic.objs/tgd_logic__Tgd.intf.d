@@ -1,0 +1,1 @@
+lib/logic/tgd.mli: Atom Format Symbol

@@ -1,0 +1,1 @@
+lib/logic/unify.ml: Array Atom Option Subst Symbol Term

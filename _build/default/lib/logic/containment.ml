@@ -1,0 +1,45 @@
+(* [q1 <= q2] iff there is a homomorphism from q2 into q1 frozen, mapping the
+   answer tuple of q2 onto the answer tuple of q1 position-wise. *)
+let contained q1 q2 =
+  Cq.arity q1 = Cq.arity q2
+  &&
+  let target = Homomorphism.target_of_atoms q1.Cq.body in
+  (* Seed the mapping with answer-position constraints. *)
+  let rec seed m a2 a1 =
+    match a2, a1 with
+    | [], [] -> Some m
+    | t2 :: rest2, t1 :: rest1 -> (
+      match t2 with
+      | Term.Const _ -> if Term.equal t2 t1 then seed m rest2 rest1 else None
+      | Term.Var v -> (
+        match Symbol.Map.find_opt v m with
+        | Some t -> if Term.equal t t1 then seed m rest2 rest1 else None
+        | None -> seed (Symbol.Map.add v t1 m) rest2 rest1))
+    | [], _ :: _ | _ :: _, [] -> None
+  in
+  match seed Symbol.Map.empty q2.Cq.answer q1.Cq.answer with
+  | None -> false
+  | Some init -> Homomorphism.exists ~init q2.Cq.body target
+
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+let ucq_contained u1 u2 = List.for_all (fun q1 -> List.exists (fun q2 -> contained q1 q2) u2) u1
+
+let minimize_ucq ucq =
+  (* Keep a disjunct only if it is not contained in a kept one nor in a later
+     not-yet-discarded one: [q] is redundant iff contained in some other
+     disjunct that survives. Visiting larger bodies first makes the smaller
+     of two equivalent disjuncts the survivor. *)
+  let ucq =
+    List.stable_sort
+      (fun q1 q2 -> Int.compare (List.length q2.Cq.body) (List.length q1.Cq.body))
+      ucq
+  in
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | q :: rest ->
+      let subsumed_by q' = (not (q == q')) && contained q q' in
+      if List.exists subsumed_by kept || List.exists subsumed_by rest then loop kept rest
+      else loop (q :: kept) rest
+  in
+  loop [] ucq

@@ -1,0 +1,19 @@
+(** Conjunctive-query containment via the homomorphism theorem. *)
+
+val contained : Cq.t -> Cq.t -> bool
+(** [contained q1 q2] holds iff [q1 <= q2], i.e. on every database the
+    answers of [q1] are a subset of the answers of [q2]. Decided by searching
+    for a homomorphism from [q2] into the frozen body of [q1] that maps the
+    answer tuple of [q2] onto the answer tuple of [q1]. Queries of different
+    arities are never contained. *)
+
+val equivalent : Cq.t -> Cq.t -> bool
+
+val ucq_contained : Cq.ucq -> Cq.ucq -> bool
+(** [ucq_contained u1 u2]: every disjunct of [u1] is contained in some
+    disjunct of [u2]. (Sound and complete for UCQ containment.) *)
+
+val minimize_ucq : Cq.ucq -> Cq.ucq
+(** Remove every disjunct that is contained in another disjunct; of two
+    equivalent disjuncts the one with the smaller body survives. The result
+    is equivalent to the input. *)

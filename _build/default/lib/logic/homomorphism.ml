@@ -1,0 +1,85 @@
+type mapping = Term.t Symbol.Map.t
+
+type target = {
+  by_pred : Atom.t list Symbol.Table.t;
+  size : int;
+}
+
+let target_of_atoms atoms =
+  let by_pred = Symbol.Table.create 16 in
+  let add a =
+    let existing = Option.value ~default:[] (Symbol.Table.find_opt by_pred a.Atom.pred) in
+    Symbol.Table.replace by_pred a.Atom.pred (a :: existing)
+  in
+  List.iter add atoms;
+  { by_pred; size = List.length atoms }
+
+let target_size t = t.size
+
+(* Match one source atom against one target atom, extending [m]. *)
+let match_atom m (src : Atom.t) (tgt : Atom.t) =
+  let n = Atom.arity src in
+  if Atom.arity tgt <> n then None
+  else
+    let rec loop m i =
+      if i >= n then Some m
+      else
+        let ti = tgt.Atom.args.(i) in
+        match src.Atom.args.(i) with
+        | Term.Const _ as c -> if Term.equal c ti then loop m (i + 1) else None
+        | Term.Var v -> (
+          match Symbol.Map.find_opt v m with
+          | Some t -> if Term.equal t ti then loop m (i + 1) else None
+          | None -> loop (Symbol.Map.add v ti m) (i + 1))
+    in
+    loop m 0
+
+exception Found of mapping
+
+(* Order atoms so that the most constrained (fewest candidate target atoms)
+   come first; a cheap static heuristic that pays off on large targets. *)
+let order_atoms atoms target =
+  let weight a =
+    match Symbol.Table.find_opt target.by_pred a.Atom.pred with
+    | None -> 0
+    | Some l -> List.length l
+  in
+  List.stable_sort (fun a b -> Int.compare (weight a) (weight b)) atoms
+
+let search ~init ~on_found atoms target =
+  let atoms = order_atoms atoms target in
+  let rec go m = function
+    | [] -> on_found m
+    | a :: rest ->
+      let candidates = Option.value ~default:[] (Symbol.Table.find_opt target.by_pred a.Atom.pred) in
+      let try_candidate tgt =
+        match match_atom m a tgt with
+        | None -> ()
+        | Some m' -> go m' rest
+      in
+      List.iter try_candidate candidates
+  in
+  go init atoms
+
+let find ?(init = Symbol.Map.empty) atoms target =
+  try
+    search ~init ~on_found:(fun m -> raise (Found m)) atoms target;
+    None
+  with Found m -> Some m
+
+let exists ?init atoms target = Option.is_some (find ?init atoms target)
+
+let all ?(init = Symbol.Map.empty) atoms target =
+  let acc = ref [] in
+  search ~init ~on_found:(fun m -> acc := m :: !acc) atoms target;
+  List.rev !acc
+
+let iter ?(init = Symbol.Map.empty) f atoms target = search ~init ~on_found:f atoms target
+
+let apply m a =
+  let subst t =
+    match t with
+    | Term.Const _ -> t
+    | Term.Var v -> Option.value ~default:t (Symbol.Map.find_opt v m)
+  in
+  Atom.apply subst a

@@ -1,0 +1,30 @@
+(** Homomorphisms from a conjunction of atoms into a set of atoms.
+
+    The target atoms are treated as {e frozen}: their variables behave like
+    constants, and a source variable may be mapped to any target term. This
+    is the standard device for CQ containment and for finding chase
+    triggers. The mapping is a direct (non-triangular) map from source
+    variables to target terms, so source and target variable names may
+    overlap without capture. *)
+
+type mapping = Term.t Symbol.Map.t
+
+type target
+(** Target atoms indexed by predicate. *)
+
+val target_of_atoms : Atom.t list -> target
+val target_size : target -> int
+
+val find : ?init:mapping -> Atom.t list -> target -> mapping option
+(** First homomorphism extending [init], if any. Source atoms with constants
+    must match target constants exactly. *)
+
+val exists : ?init:mapping -> Atom.t list -> target -> bool
+
+val all : ?init:mapping -> Atom.t list -> target -> mapping list
+(** All homomorphisms (distinct mappings of the source variables). *)
+
+val iter : ?init:mapping -> (mapping -> unit) -> Atom.t list -> target -> unit
+
+val apply : mapping -> Atom.t -> Atom.t
+(** Replace each mapped variable by its image; unmapped variables are kept. *)

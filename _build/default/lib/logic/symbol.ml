@@ -1,0 +1,50 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+let names = ref (Array.make 1024 "")
+let count = ref 0
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some i -> i
+  | None ->
+    let i = !count in
+    if i = Array.length !names then begin
+      let bigger = Array.make (2 * i) "" in
+      Array.blit !names 0 bigger 0 i;
+      names := bigger
+    end;
+    !names.(i) <- s;
+    incr count;
+    Hashtbl.add table s i;
+    i
+
+let name i = !names.(i)
+
+let fresh_counter = ref 0
+
+let rec fresh base =
+  incr fresh_counter;
+  let s = Printf.sprintf "%s#%d" base !fresh_counter in
+  if Hashtbl.mem table s then fresh base else intern s
+
+let equal = Int.equal
+let compare = Int.compare
+let hash i = i
+let pp ppf i = Format.pp_print_string ppf (name i)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

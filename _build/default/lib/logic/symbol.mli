@@ -1,0 +1,27 @@
+(** Interned identifiers.
+
+    All predicate, variable and constant names are interned into integers so
+    that comparisons and hashing along the hot paths (unification, joins,
+    graph construction) are O(1). Interning is global to the process. *)
+
+type t = private int
+
+val intern : string -> t
+(** [intern s] returns the unique symbol for the spelling [s]. *)
+
+val name : t -> string
+(** [name sym] is the spelling that was interned. *)
+
+val fresh : string -> t
+(** [fresh base] interns a new symbol spelled [base^"#"^n] for a process-wide
+    counter [n]; the result is distinct from every previously interned
+    symbol. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,48 @@
+(** Tuple-generating dependencies (TGDs, a.k.a. existential rules).
+
+    A TGD is an expression [b1, ..., bn -> h1, ..., hm] read as the
+    first-order sentence [forall x. b1 /\ ... /\ bn -> exists y. h1 /\ ... /\ hm]
+    where [x] are all body variables and [y] the variables occurring only in
+    the head (Section 3 of the paper). *)
+
+type t = private {
+  name : string;
+  body : Atom.t list;
+  head : Atom.t list;
+}
+
+val make : ?name:string -> body:Atom.t list -> head:Atom.t list -> t
+(** Raises [Invalid_argument] if body or head is empty. *)
+
+val body_vars : t -> Symbol.Set.t
+val head_vars : t -> Symbol.Set.t
+
+val frontier : t -> Symbol.Set.t
+(** The distinguished variables: those occurring both in the head and in the
+    body. *)
+
+val existential_head_vars : t -> Symbol.Set.t
+(** Variables occurring only in the head (the value-inventing positions). *)
+
+val existential_body_vars : t -> Symbol.Set.t
+(** Variables occurring only in the body. *)
+
+val constants : t -> Symbol.Set.t
+
+val is_simple : t -> bool
+(** Simple TGDs (Section 5): no repeated variables inside an atom, no
+    constants, and a single head atom. *)
+
+val rename_apart : t -> t
+(** Rename every variable to a globally fresh one. Used before unifying a
+    rule with a query. *)
+
+val single_head_normalize : t list -> t list
+(** Split every TGD with an [n>1]-atom head into [n+1] single-head TGDs
+    through a fresh auxiliary predicate collecting all head variables. The
+    transformation preserves certain answers for queries over the original
+    signature. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,22 @@
+let terms s t1 t2 =
+  let t1 = Subst.walk s t1 and t2 = Subst.walk s t2 in
+  match t1, t2 with
+  | Term.Var v1, Term.Var v2 when Symbol.equal v1 v2 -> Some s
+  | Term.Var v, t | t, Term.Var v -> Some (Subst.bind v t s)
+  | Term.Const c1, Term.Const c2 -> if Symbol.equal c1 c2 then Some s else None
+
+let atoms s a1 a2 =
+  if (not (Symbol.equal a1.Atom.pred a2.Atom.pred)) || Atom.arity a1 <> Atom.arity a2 then None
+  else
+    let n = Atom.arity a1 in
+    let rec loop s i =
+      if i >= n then Some s
+      else
+        match terms s a1.Atom.args.(i) a2.Atom.args.(i) with
+        | None -> None
+        | Some s -> loop s (i + 1)
+    in
+    loop s 0
+
+let mgu a1 a2 = atoms Subst.empty a1 a2
+let unifiable a1 a2 = Option.is_some (mgu a1 a2)

@@ -1,0 +1,1 @@
+lib/obda/approximation.ml: Atom Datalog Eval Instance List Printf Program Symbol Term Tgd Tgd_core Tgd_db Tgd_logic Tgd_rewrite Tuple

@@ -1,0 +1,1 @@
+lib/obda/approximation.mli: Cq Instance Program Tgd Tgd_db Tgd_logic Tgd_rewrite Tuple

@@ -1,0 +1,1 @@
+lib/obda/constraints.ml: Atom Cq Eval Format List Printf Tgd_db Tgd_logic Tgd_rewrite

@@ -1,0 +1,1 @@
+lib/obda/constraints.mli: Atom Cq Format Instance Program Tgd_db Tgd_logic Tgd_rewrite

@@ -1,0 +1,1 @@
+lib/obda/mapping.ml: Array Atom Eval Format Instance List Printf Symbol Term Tgd_db Tgd_logic Value

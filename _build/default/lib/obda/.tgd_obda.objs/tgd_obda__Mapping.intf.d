@@ -1,0 +1,1 @@
+lib/obda/mapping.mli: Atom Format Instance Symbol Tgd_db Tgd_logic

@@ -1,0 +1,1 @@
+lib/obda/obda_system.ml: Constraints Cq Eval Instance List Mapping Program Sql Tgd_chase Tgd_db Tgd_logic Tgd_rewrite Tuple Unfold

@@ -1,0 +1,1 @@
+lib/obda/obda_system.mli: Constraints Cq Instance Mapping Program Tgd_db Tgd_logic Tgd_rewrite Tuple

@@ -1,0 +1,1 @@
+lib/obda/unfold.ml: Atom Containment Cq List Mapping Subst Tgd_logic Unify

@@ -1,0 +1,1 @@
+lib/obda/unfold.mli: Cq Mapping Tgd_logic

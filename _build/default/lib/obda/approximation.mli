@@ -1,0 +1,47 @@
+(** Approximate query answering for sets of TGDs that are not (or cannot be
+    shown to be) WR — the research direction of the paper's Section 7: "one
+    future research direction is thus to explore this setting and to define
+    approximation techniques".
+
+    Two complementary approximations bracket the certain answers:
+
+    - a {b sound lower bound}: greedily keep a maximal subset [P'] of the
+      rules such that [P'] stays WR (or, optionally, satisfies any other
+      FO-rewritability witness). Since [P' ⊆ P], every certain answer under
+      [P'] is one under [P], and [P'] being FO-rewritable it is computed
+      exactly by rewriting;
+    - a {b complete upper bound}: replace every existential head variable by
+      a fresh constant shared by all applications of its rule (a constant
+      Skolemization). The relaxed program is plain Datalog, saturation
+      terminates, and every certain answer of [(P, D)] is an answer of the
+      relaxation (merging witnesses only adds homomorphisms).
+
+    When the two bounds coincide the certain answers are known exactly even
+    though [P] itself was intractable for the classifier. *)
+
+open Tgd_logic
+open Tgd_db
+
+val wr_subset : ?max_nodes:int -> Program.t -> Program.t * Tgd.t list
+(** [wr_subset p] returns [(p', removed)] where [p'] keeps a maximal prefix-
+    greedy subset of the rules with [Wr.check] accepting it, and [removed]
+    lists the rules dropped. If [p] is already WR, [removed] is empty. *)
+
+val datalog_relaxation : Program.t -> Program.t
+(** The constant-Skolemized program: each existential head variable [z] of a
+    rule [r] becomes the constant ["sk_r_z"]. The result has no existential
+    variables. *)
+
+type interval = {
+  lower : Tuple.t list;  (** certain answers under the WR subset (sound) *)
+  upper : Tuple.t list;  (** answers under the relaxation (complete) *)
+  exact : bool;  (** [lower = upper]: the certain answers are known exactly *)
+  removed_rules : string list;  (** rules dropped for the lower bound *)
+}
+
+val interval_answers :
+  ?max_nodes:int -> ?config:Tgd_rewrite.Rewrite.config -> Program.t -> Instance.t -> Cq.t -> interval
+(** Bracket [cert(q, P, D)]. The lower bound is computed by rewriting over
+    the WR subset (falling back to bounded rewriting of the full program if
+    even the subset rewriting truncates, still sound); the upper bound by
+    Datalog saturation of the relaxation. *)

@@ -1,0 +1,46 @@
+(** The complete OBDA system of the paper's introduction: an ontology (TGDs)
+    on top of relational sources, linked by mapping assertions, with
+    negative constraints for consistency.
+
+    Query answering runs the classical virtual pipeline:
+    + FO-rewrite the user query against the ontology ({!Tgd_rewrite.Rewrite});
+    + unfold the rewriting through the mappings ({!Unfold});
+    + evaluate the resulting UCQ (or its SQL form) directly on the sources.
+
+    No ABox is ever materialized on this path; {!answer_materialized} runs
+    the opposite strategy (materialize the virtual ABox, chase it) and is
+    used as a cross-check and a baseline. *)
+
+open Tgd_logic
+open Tgd_db
+
+type t = private {
+  ontology : Program.t;
+  mappings : Mapping.t list;
+  constraints : Constraints.t list;
+}
+
+val make : ontology:Program.t -> ?mappings:Mapping.t list -> ?constraints:Constraints.t list -> unit -> t
+
+type answer = {
+  tuples : Tuple.t list;  (** certain answers, null-free, sorted *)
+  source_ucq : Cq.ucq;  (** the final UCQ over the source schema *)
+  sql : string option;  (** its SQL form, [None] if the UCQ is empty *)
+  rewriting_complete : bool;
+}
+
+val answer : ?config:Tgd_rewrite.Rewrite.config -> t -> source:Instance.t -> Cq.t -> answer
+(** Virtual approach: rewrite, unfold, evaluate on the sources. Without
+    mappings the ontology schema is assumed to be the source schema
+    (identity mappings). *)
+
+val answer_materialized :
+  ?max_rounds:int -> ?max_facts:int -> t -> source:Instance.t -> Cq.t -> Tuple.t list * bool
+(** Materialization approach: build the ABox through the mappings, chase it
+    with the ontology, evaluate. Returns the answers and whether the chase
+    reached a fixpoint. *)
+
+val consistent :
+  ?config:Tgd_rewrite.Rewrite.config -> t -> source:Instance.t -> Constraints.verdict
+(** Check the negative constraints against the virtual ABox (rewriting +
+    unfolding of each constraint body). *)

@@ -1,0 +1,28 @@
+open Tgd_logic
+
+(* Unfold the atoms of [q] left to right, threading the substitution built
+   by the successive target unifications. *)
+let cq mappings (q : Cq.t) =
+  let results = ref [] in
+  let rec go subst acc_atoms remaining =
+    match remaining with
+    | [] ->
+      let body = Subst.apply_atoms subst (List.rev acc_atoms) in
+      let answer = Subst.apply_terms subst q.Cq.answer in
+      results := Cq.make ~name:q.Cq.name ~answer ~body :: !results
+    | (a : Atom.t) :: rest ->
+      let candidates = Mapping.for_pred mappings a.Atom.pred in
+      List.iter
+        (fun m ->
+          let m = Mapping.rename_apart m in
+          match Unify.atoms subst (Subst.apply_atom subst a) m.Mapping.target with
+          | None -> ()
+          | Some subst' -> go subst' (List.rev_append m.Mapping.source acc_atoms) rest)
+        candidates
+  in
+  go Subst.empty [] q.Cq.body;
+  List.rev_map Cq.canonical !results |> List.sort_uniq Cq.compare
+
+let ucq ?(minimize = true) mappings disjuncts =
+  let unfolded = List.concat_map (cq mappings) disjuncts |> List.sort_uniq Cq.compare in
+  if minimize then Containment.minimize_ucq unfolded else unfolded

@@ -1,0 +1,18 @@
+(** Mapping unfolding: translate a UCQ over the ontology schema into a UCQ
+    over the source schema by replacing each ontology atom with the source
+    query of a matching mapping (every combination of mapping choices yields
+    one disjunct). Together with {!Tgd_rewrite.Rewrite}, this completes the
+    classical OBDA pipeline: ontology rewriting, then mapping unfolding,
+    then SQL over the sources. *)
+
+open Tgd_logic
+
+val cq : Mapping.t list -> Cq.t -> Cq.ucq
+(** All unfoldings of one CQ. A disjunct is produced for every way of
+    covering every body atom by a mapping whose target unifies with it;
+    atoms with no matching mapping kill the candidate (the result may be
+    empty). *)
+
+val ucq : ?minimize:bool -> Mapping.t list -> Cq.ucq -> Cq.ucq
+(** Union of the unfoldings of each disjunct, minimized by containment by
+    default. *)

@@ -1,0 +1,1 @@
+lib/parser/parser.ml: Atom Cq Format Hashtbl Lexer List Printf Program String Symbol Term Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/parser/parser.mli: Atom Cq Format Program Tgd Tgd_logic

@@ -1,0 +1,1 @@
+lib/parser/printer.ml: Atom Cq Format List Parser Program Term Tgd Tgd_logic

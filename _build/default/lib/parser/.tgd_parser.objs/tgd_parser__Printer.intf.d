@@ -1,0 +1,1 @@
+lib/parser/printer.mli: Atom Cq Format Parser Program Tgd Tgd_logic

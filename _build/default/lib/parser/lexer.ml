@@ -1,0 +1,143 @@
+type token =
+  | Ident of string
+  | Var of string
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Period
+  | Arrow
+  | Implied_by
+  | Eof
+
+exception Error of string * int * int
+
+type t = {
+  src : string;
+  filename : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+  mutable lookahead : token option;
+  mutable tok_line : int;
+  mutable tok_col : int;
+}
+
+let of_string ?(filename = "<string>") src =
+  { src; filename; pos = 0; line = 1; bol = 0; lookahead = None; tok_line = 1; tok_col = 1 }
+
+let filename lx = lx.filename
+let line lx = lx.tok_line
+let col lx = lx.tok_col
+
+let is_eof lx = lx.pos >= String.length lx.src
+let cur lx = lx.src.[lx.pos]
+
+let advance lx =
+  if not (is_eof lx) then begin
+    if cur lx = '\n' then begin
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+    end;
+    lx.pos <- lx.pos + 1
+  end
+
+let error lx msg = raise (Error (msg, lx.line, lx.pos - lx.bol + 1))
+
+let rec skip_blanks lx =
+  if is_eof lx then ()
+  else
+    match cur lx with
+    | ' ' | '\t' | '\r' | '\n' ->
+      advance lx;
+      skip_blanks lx
+    | '%' | '#' ->
+      while (not (is_eof lx)) && cur lx <> '\n' do
+        advance lx
+      done;
+      skip_blanks lx
+    | _ -> ()
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let read_word lx =
+  let start = lx.pos in
+  while (not (is_eof lx)) && is_ident_char (cur lx) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let read_quoted lx =
+  advance lx;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if is_eof lx then error lx "unterminated string literal"
+    else
+      match cur lx with
+      | '"' -> advance lx
+      | '\\' ->
+        advance lx;
+        if is_eof lx then error lx "unterminated escape"
+        else begin
+          Buffer.add_char buf (cur lx);
+          advance lx;
+          loop ()
+        end
+      | c ->
+        Buffer.add_char buf c;
+        advance lx;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let lex lx =
+  skip_blanks lx;
+  lx.tok_line <- lx.line;
+  lx.tok_col <- lx.pos - lx.bol + 1;
+  if is_eof lx then Eof
+  else
+    match cur lx with
+    | '(' -> advance lx; Lparen
+    | ')' -> advance lx; Rparen
+    | '[' -> advance lx; Lbracket
+    | ']' -> advance lx; Rbracket
+    | ',' -> advance lx; Comma
+    | '.' -> advance lx; Period
+    | '"' -> Quoted (read_quoted lx)
+    | '-' ->
+      advance lx;
+      if (not (is_eof lx)) && cur lx = '>' then begin
+        advance lx;
+        Arrow
+      end
+      else error lx "expected '->'"
+    | ':' ->
+      advance lx;
+      if (not (is_eof lx)) && cur lx = '-' then begin
+        advance lx;
+        Implied_by
+      end
+      else error lx "expected ':-'"
+    | c when (c >= 'A' && c <= 'Z') || c = '_' -> Var (read_word lx)
+    | c when (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') -> Ident (read_word lx)
+    | c -> error lx (Printf.sprintf "unexpected character %C" c)
+
+let next lx =
+  match lx.lookahead with
+  | Some tok ->
+    lx.lookahead <- None;
+    tok
+  | None -> lex lx
+
+let peek lx =
+  match lx.lookahead with
+  | Some tok -> tok
+  | None ->
+    let tok = lex lx in
+    lx.lookahead <- Some tok;
+    tok

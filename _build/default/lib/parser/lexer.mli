@@ -1,0 +1,36 @@
+(** Hand-written lexer for the ontology text format.
+
+    Conventions (Prolog-like): identifiers starting with an uppercase letter
+    or [_] are variables; identifiers starting with a lowercase letter,
+    double-quoted strings, and numbers are constants / predicate names.
+    Comments run from [%] or [#] to the end of the line. *)
+
+type token =
+  | Ident of string  (** predicate or constant *)
+  | Var of string
+  | Quoted of string  (** double-quoted constant *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Period
+  | Arrow  (** [->] *)
+  | Implied_by  (** [:-] *)
+  | Eof
+
+type t
+
+val of_string : ?filename:string -> string -> t
+val next : t -> token
+(** Consume and return the next token. Raises {!Error}. *)
+
+val peek : t -> token
+(** Look at the next token without consuming it. *)
+
+val line : t -> int
+val col : t -> int
+val filename : t -> string
+
+exception Error of string * int * int
+(** message, line, column (1-based) *)

@@ -1,0 +1,196 @@
+open Tgd_logic
+
+type document = {
+  rules : Tgd.t list;
+  facts : Atom.t list;
+  queries : Cq.t list;
+  constraints : (string * Atom.t list) list;
+}
+
+type error = {
+  filename : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s:%d:%d: %s" e.filename e.line e.col e.message
+
+exception Parse_failure of string
+
+let fail msg = raise (Parse_failure msg)
+
+let expect lx tok what =
+  let got = Lexer.next lx in
+  if got <> tok then fail (Printf.sprintf "expected %s" what)
+
+let is_falsum (a : Atom.t) = String.equal (Symbol.name a.Atom.pred) "falsum" && Atom.arity a = 0
+
+(* Classify a parsed implication: a [falsum] head makes it a constraint. *)
+let rule_or_constraint ?name ~body ~head () =
+  match head with
+  | [ a ] when is_falsum a ->
+    let name = match name with Some n -> n | None -> Printf.sprintf "nc_%d" (List.length body) in
+    `Constraint (name, body)
+  | _ -> `Rule (Tgd.make ?name ~body ~head)
+
+let parse_term lx =
+  match Lexer.next lx with
+  | Lexer.Var v -> Term.var v
+  | Lexer.Ident c -> Term.const c
+  | Lexer.Quoted c -> Term.const c
+  | _ -> fail "expected a term (variable or constant)"
+
+let parse_terms lx =
+  (* after '(' ; empty argument list '()' is allowed *)
+  match Lexer.peek lx with
+  | Lexer.Rparen ->
+    ignore (Lexer.next lx);
+    []
+  | _ ->
+    let rec loop acc =
+      let t = parse_term lx in
+      match Lexer.next lx with
+      | Lexer.Comma -> loop (t :: acc)
+      | Lexer.Rparen -> List.rev (t :: acc)
+      | _ -> fail "expected ',' or ')' in argument list"
+    in
+    loop []
+
+let parse_atom_with_name lx name =
+  match Lexer.peek lx with
+  | Lexer.Lparen ->
+    ignore (Lexer.next lx);
+    Atom.of_strings name (parse_terms lx)
+  | _ -> Atom.of_strings name []
+
+let parse_atom lx =
+  match Lexer.next lx with
+  | Lexer.Ident name -> parse_atom_with_name lx name
+  | _ -> fail "expected a predicate name"
+
+let rec parse_atoms lx acc =
+  let a = parse_atom lx in
+  match Lexer.peek lx with
+  | Lexer.Comma ->
+    ignore (Lexer.next lx);
+    parse_atoms lx (a :: acc)
+  | _ -> List.rev (a :: acc)
+
+let parse_item lx =
+  match Lexer.peek lx with
+  | Lexer.Eof -> None
+  | Lexer.Lbracket ->
+    (* named rule *)
+    ignore (Lexer.next lx);
+    let name =
+      match Lexer.next lx with
+      | Lexer.Ident n | Lexer.Var n -> n
+      | _ -> fail "expected a rule name after '['"
+    in
+    expect lx Lexer.Rbracket "']'";
+    let body = parse_atoms lx [] in
+    expect lx Lexer.Arrow "'->'";
+    let head = parse_atoms lx [] in
+    expect lx Lexer.Period "'.'";
+    Some (rule_or_constraint ~name ~body ~head ())
+  | _ ->
+    let first = parse_atom lx in
+    (match Lexer.next lx with
+    | Lexer.Period ->
+      (* a fact: must be ground *)
+      if Symbol.Set.is_empty (Atom.vars first) then Some (`Fact first)
+      else fail "facts must be ground (no variables)"
+    | Lexer.Comma ->
+      let rest = parse_atoms lx [] in
+      expect lx Lexer.Arrow "'->'";
+      let head = parse_atoms lx [] in
+      expect lx Lexer.Period "'.'";
+      Some (rule_or_constraint ~body:(first :: rest) ~head ())
+    | Lexer.Arrow ->
+      let head = parse_atoms lx [] in
+      expect lx Lexer.Period "'.'";
+      Some (rule_or_constraint ~body:[ first ] ~head ())
+    | Lexer.Implied_by ->
+      let body = parse_atoms lx [] in
+      expect lx Lexer.Period "'.'";
+      let name = Symbol.name first.Atom.pred in
+      let answer = Atom.args first in
+      (try Some (`Query (Cq.make ~name ~answer ~body))
+       with Invalid_argument msg -> fail msg)
+    | _ -> fail "expected '.', ',', '->' or ':-' after atom")
+
+let parse_lexer lx =
+  let rules = ref [] and facts = ref [] and queries = ref [] in
+  let constraints = ref [] in
+  let rec loop () =
+    match parse_item lx with
+    | None -> ()
+    | Some (`Rule r) ->
+      rules := r :: !rules;
+      loop ()
+    | Some (`Constraint nc) ->
+      constraints := nc :: !constraints;
+      loop ()
+    | Some (`Fact f) ->
+      facts := f :: !facts;
+      loop ()
+    | Some (`Query q) ->
+      queries := q :: !queries;
+      loop ()
+  in
+  try
+    loop ();
+    Ok
+      {
+        rules = List.rev !rules;
+        facts = List.rev !facts;
+        queries = List.rev !queries;
+        constraints = List.rev !constraints;
+      }
+  with
+  | Parse_failure message ->
+    Error { filename = Lexer.filename lx; line = Lexer.line lx; col = Lexer.col lx; message }
+  | Lexer.Error (message, line, col) -> Error { filename = Lexer.filename lx; line; col; message }
+  | Invalid_argument message ->
+    Error { filename = Lexer.filename lx; line = Lexer.line lx; col = Lexer.col lx; message }
+
+let parse_string ?filename src = parse_lexer (Lexer.of_string ?filename src)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string ~filename:path src
+
+let program_of_document ?name doc =
+  (* Check arity consistency across rules, facts and queries by encoding
+     facts and query bodies as extra pseudo-rules for the signature scan. *)
+  match Program.make ?name doc.rules with
+  | Error _ as e -> e
+  | Ok p ->
+    let arities = Hashtbl.create 32 in
+    List.iter (fun (pred, a) -> Hashtbl.replace arities pred a) (Program.predicates p);
+    let check_atom (a : Atom.t) =
+      match Hashtbl.find_opt arities a.Atom.pred with
+      | None ->
+        Hashtbl.replace arities a.Atom.pred (Atom.arity a);
+        Ok ()
+      | Some n ->
+        if n = Atom.arity a then Ok ()
+        else
+          Error
+            (Printf.sprintf "predicate %s used with arities %d and %d"
+               (Symbol.name a.Atom.pred) n (Atom.arity a))
+    in
+    let rec check_all = function
+      | [] -> Ok p
+      | a :: rest -> (
+        match check_atom a with Ok () -> check_all rest | Error _ as e -> e)
+    in
+    check_all
+      (doc.facts
+      @ List.concat_map (fun (q : Cq.t) -> q.Cq.body) doc.queries
+      @ List.concat_map snd doc.constraints)

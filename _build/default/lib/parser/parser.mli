@@ -1,0 +1,42 @@
+(** Parser for the ontology text format.
+
+    Grammar (comments with [%] or [#]):
+    {v
+      item   ::= rule | constraint | fact | query
+      rule   ::= [ "[" NAME "]" ] atoms "->" atoms "."
+      constr ::= [ "[" NAME "]" ] atoms "->" "falsum" "."
+      fact   ::= atom "."                      (ground atoms only)
+      query  ::= NAME [ "(" terms ")" ] ":-" atoms "."
+      atom   ::= PRED [ "(" terms ")" ]
+      term   ::= VARIABLE | CONSTANT | "quoted constant"
+    v}
+
+    Variables start with an uppercase letter or [_]; everything else is a
+    constant or predicate name. A rule whose head is the reserved 0-ary
+    atom [falsum] is a negative constraint; its body is collected in
+    [constraints] (paired with the rule name). *)
+
+open Tgd_logic
+
+type document = {
+  rules : Tgd.t list;
+  facts : Atom.t list;
+  queries : Cq.t list;
+  constraints : (string * Atom.t list) list;  (** negative constraints: name, body *)
+}
+
+type error = {
+  filename : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : ?filename:string -> string -> (document, error) result
+val parse_file : string -> (document, error) result
+
+val program_of_document : ?name:string -> document -> (Program.t, string) result
+(** Build a {!Program} from the rules of a document (arity consistency is
+    checked across rules, facts and queries). *)

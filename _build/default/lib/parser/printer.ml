@@ -1,0 +1,29 @@
+open Tgd_logic
+
+let atoms ppf l =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Atom.pp ppf l
+
+let rule ppf (r : Tgd.t) =
+  Format.fprintf ppf "[%s] %a -> %a." r.Tgd.name atoms r.Tgd.body atoms r.Tgd.head
+
+let fact ppf a = Format.fprintf ppf "%a." Atom.pp a
+
+let query ppf (q : Cq.t) =
+  let terms ppf ts =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") Term.pp ppf ts
+  in
+  Format.fprintf ppf "%s(%a) :- %a." q.Cq.name terms q.Cq.answer atoms q.Cq.body
+
+let negative_constraint ppf (name, body) =
+  Format.fprintf ppf "[%s] %a -> falsum." name atoms body
+
+let document ppf (d : Parser.document) =
+  List.iter (fun r -> Format.fprintf ppf "%a@." rule r) d.Parser.rules;
+  List.iter (fun nc -> Format.fprintf ppf "%a@." negative_constraint nc) d.Parser.constraints;
+  List.iter (fun f -> Format.fprintf ppf "%a@." fact f) d.Parser.facts;
+  List.iter (fun q -> Format.fprintf ppf "%a@." query q) d.Parser.queries
+
+let program ppf p = List.iter (fun r -> Format.fprintf ppf "%a@." rule r) (Program.tgds p)
+let program_to_string p = Format.asprintf "%a" program p

@@ -1,0 +1,1 @@
+lib/rewrite/piece.ml: Atom Cq Hashtbl Int List Set Subst Symbol Term Tgd Tgd_logic Unify

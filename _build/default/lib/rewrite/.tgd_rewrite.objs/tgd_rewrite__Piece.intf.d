@@ -1,0 +1,1 @@
+lib/rewrite/piece.mli: Atom Cq Subst Tgd Tgd_logic

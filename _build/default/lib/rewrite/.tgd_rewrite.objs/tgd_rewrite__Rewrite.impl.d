@@ -1,0 +1,1 @@
+lib/rewrite/rewrite.ml: Array Atom Containment Cq Hashtbl List Option Piece Printf Program Queue Subst Symbol Tgd Tgd_logic Unify

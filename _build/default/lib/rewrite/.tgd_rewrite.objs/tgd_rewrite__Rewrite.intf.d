@@ -1,0 +1,1 @@
+lib/rewrite/rewrite.mli: Cq Program Tgd_logic

@@ -1,0 +1,36 @@
+(** Piece unifiers: the sound unification of a subset of query atoms with the
+    head of a (single-head) TGD.
+
+    A piece unifier of a CQ [q] with a rule [R : body -> alpha] is a
+    non-empty subset [Q'] of [body(q)] together with a most general unifier
+    [u] of every atom of [Q'] with [alpha], such that for every existential
+    head variable [y] of [R], the unification class of [y]:
+    - contains no constant,
+    - contains no answer variable of [q],
+    - contains no frontier variable of [R],
+    - contains no other existential head variable of [R], and
+    - contains only query variables all of whose occurrences in [body(q)]
+      are inside [Q'].
+
+    The last condition is enforced constructively: starting from a single
+    atom, the piece is grown with every outside atom that shares a variable
+    with an existential class, until it stabilises or fails. The resulting
+    unifiers are exactly the most general single-piece unifiers rooted at
+    each body atom. *)
+
+open Tgd_logic
+
+type t = {
+  rule : Tgd.t;  (** the rule, with variables renamed apart from the query *)
+  piece : Atom.t list;  (** the unified query atoms [Q'] *)
+  remainder : Atom.t list;  (** [body(q) \ Q'] *)
+  subst : Subst.t;  (** the most general unifier *)
+}
+
+val all : Cq.t -> Tgd.t -> t list
+(** Every most general piece unifier of the query with the rule. The rule
+    must be single-head; raises [Invalid_argument] otherwise. *)
+
+val apply : Cq.t -> t -> Cq.t
+(** The one-step rewriting [q[Q' := body(R)]u]: replace the piece by the rule
+    body and apply the unifier everywhere, including the answer tuple. *)

@@ -1,0 +1,191 @@
+open Tgd_logic
+
+type outcome =
+  | Complete
+  | Truncated of string
+
+type stats = {
+  generated : int;
+  explored : int;
+  kept : int;
+  max_depth : int;
+}
+
+type result = {
+  ucq : Cq.ucq;
+  outcome : outcome;
+  stats : stats;
+}
+
+type config = {
+  max_cqs : int;
+  max_depth : int;
+  max_body_atoms : int;
+  prune_subsumed : bool;
+}
+
+let default_config = { max_cqs = 20_000; max_depth = 1_000; max_body_atoms = 64; prune_subsumed = true }
+
+(* A kept disjunct; [alive] is cleared when a more general CQ retires it. *)
+type entry = {
+  cq : Cq.t;
+  mutable alive : bool;
+}
+
+(* Factorizations of [q]: for every unifiable pair of body atoms, the
+   specialisation that merges them. *)
+let factorizations (q : Cq.t) =
+  let atoms = Array.of_list q.Cq.body in
+  let n = Array.length atoms in
+  let acc = ref [] in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      if Symbol.equal atoms.(i).Atom.pred atoms.(j).Atom.pred then
+        match Unify.mgu atoms.(i) atoms.(j) with
+        | None -> ()
+        | Some s ->
+          let body = List.sort_uniq Atom.compare (Subst.apply_atoms s q.Cq.body) in
+          let answer = Subst.apply_terms s q.Cq.answer in
+          acc := Cq.make ~name:q.Cq.name ~answer ~body :: !acc
+    done
+  done;
+  !acc
+
+(* Rules indexed by head predicate: a rule is only relevant to a CQ whose
+   body mentions that predicate. *)
+let index_rules program =
+  let index = Symbol.Table.create 16 in
+  List.iter
+    (fun (r : Tgd.t) ->
+      match r.Tgd.head with
+      | [ h ] ->
+        let existing = Option.value ~default:[] (Symbol.Table.find_opt index h.Atom.pred) in
+        Symbol.Table.replace index h.Atom.pred (r :: existing)
+      | _ -> invalid_arg "Rewrite: program must be single-head normalized")
+    (Program.tgds program);
+  index
+
+let rewrite_steps index (q : Cq.t) =
+  let preds =
+    List.fold_left (fun acc (a : Atom.t) -> Symbol.Set.add a.Atom.pred acc) Symbol.Set.empty q.Cq.body
+  in
+  Symbol.Set.fold
+    (fun pred acc ->
+      match Symbol.Table.find_opt index pred with
+      | None -> acc
+      | Some rules ->
+        List.fold_left
+          (fun acc rule -> List.rev_append (List.map (fun pu -> Piece.apply q pu) (Piece.all q rule)) acc)
+          acc rules)
+    preds []
+
+let mentions_aux_pred aux_preds (q : Cq.t) =
+  List.exists (fun (a : Atom.t) -> Symbol.Set.mem a.Atom.pred aux_preds) q.Cq.body
+
+let ucq ?(config = default_config) program0 q0 =
+  let program = Program.single_head_normalize program0 in
+  let aux_preds =
+    let original =
+      List.fold_left
+        (fun acc (p, _) -> Symbol.Set.add p acc)
+        Symbol.Set.empty (Program.predicates program0)
+    in
+    List.fold_left
+      (fun acc (p, _) -> if Symbol.Set.mem p original then acc else Symbol.Set.add p acc)
+      Symbol.Set.empty (Program.predicates program)
+  in
+  let rule_index = index_rules program in
+  let q0 = Cq.canonical q0 in
+  let generated = ref 1 in
+  let explored = ref 0 in
+  let max_depth_seen = ref 0 in
+  let kept : entry list ref = ref [] in
+  let seen : (Cq.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let queue : (int * Cq.t) Queue.t = Queue.create () in
+  let outcome = ref Complete in
+  let stop reason = outcome := Truncated reason in
+  (* Install a candidate: dedup by canonical form, prune by containment. *)
+  let add depth c =
+    let c = Cq.canonical c in
+    if List.length c.Cq.body <= config.max_body_atoms && not (Hashtbl.mem seen c) then begin
+      Hashtbl.add seen c ();
+      incr generated;
+      (* [c] is dropped if a kept disjunct subsumes it — unless they are
+         equivalent and [c] has a strictly smaller body, in which case [c]
+         replaces the bulkier form (e.g. a factorized self-join). *)
+      let subsumed =
+        config.prune_subsumed
+        && List.exists
+             (fun e ->
+               e.alive
+               && Containment.contained c e.cq
+               && not
+                    (List.length c.Cq.body < List.length e.cq.Cq.body
+                    && Containment.contained e.cq c))
+             !kept
+      in
+      if not subsumed then begin
+        if config.prune_subsumed then
+          List.iter (fun e -> if e.alive && Containment.contained e.cq c then e.alive <- false) !kept;
+        kept := { cq = c; alive = true } :: !kept;
+        Queue.add (depth, c) queue
+      end
+    end
+  in
+  add 0 q0;
+  (try
+     while not (Queue.is_empty queue) do
+       if !generated >= config.max_cqs then begin
+         stop (Printf.sprintf "budget: %d CQs generated" config.max_cqs);
+         raise Exit
+       end;
+       let depth, q = Queue.pop queue in
+       (* A retired disjunct's expansions are covered by its subsumer. *)
+       let still_alive =
+         (not config.prune_subsumed)
+         || List.exists (fun e -> e.alive && Cq.equal e.cq q) !kept
+       in
+       if still_alive then begin
+         incr explored;
+         if depth > !max_depth_seen then max_depth_seen := depth;
+         if depth >= config.max_depth then stop (Printf.sprintf "budget: depth %d" config.max_depth)
+         else begin
+           List.iter (add (depth + 1)) (rewrite_steps rule_index q);
+           List.iter (add (depth + 1)) (factorizations q)
+         end
+       end
+     done
+   with Exit -> ());
+  let final =
+    List.rev_map (fun e -> e.cq) (List.filter (fun e -> e.alive) !kept)
+    |> List.filter (fun c -> not (mentions_aux_pred aux_preds c))
+  in
+  let final = Containment.minimize_ucq final in
+  {
+    ucq = final;
+    outcome = !outcome;
+    stats =
+      { generated = !generated; explored = !explored; kept = List.length final; max_depth = !max_depth_seen };
+  }
+
+let ucq_of_union ?config program qs =
+  let results = List.map (ucq ?config program) qs in
+  let combined = Containment.minimize_ucq (List.concat_map (fun r -> r.ucq) results) in
+  let outcome =
+    List.fold_left
+      (fun acc r -> match acc with Truncated _ -> acc | Complete -> r.outcome)
+      Complete results
+  in
+  let stats =
+    List.fold_left
+      (fun acc r ->
+        {
+          generated = acc.generated + r.stats.generated;
+          explored = acc.explored + r.stats.explored;
+          kept = List.length combined;
+          max_depth = max acc.max_depth r.stats.max_depth;
+        })
+      { generated = 0; explored = 0; kept = List.length combined; max_depth = 0 }
+      results
+  in
+  { ucq = combined; outcome; stats }

@@ -1,0 +1,55 @@
+(** UCQ rewriting: compute a first-order (UCQ) rewriting of a conjunctive
+    query with respect to a set of TGDs, in the style of PerfectRef / PURE.
+
+    The engine explores the rewriting space breadth-first:
+    - {b rewriting steps} replace a piece of a CQ by a rule body through a
+      most general piece unifier ({!Piece}), and
+    - {b factorization steps} unify two unifiable body atoms of a CQ (the
+      resulting CQ is a specialisation, hence sound, and enables piece
+      unifiers that need merged atoms — in particular across the auxiliary
+      predicates introduced by single-head normalization).
+
+    Generated CQs are kept modulo containment: a new CQ subsumed by a kept
+    one is dropped, and kept CQs subsumed by a new more general one are
+    retired. On FO-rewritable inputs the exploration reaches a fixpoint and
+    the result is a sound and complete UCQ rewriting; otherwise a budget
+    stops it and the result is sound but possibly incomplete (reported in
+    [outcome]). *)
+
+open Tgd_logic
+
+type outcome =
+  | Complete  (** fixpoint reached: the UCQ is a full rewriting *)
+  | Truncated of string  (** which budget stopped the exploration *)
+
+type stats = {
+  generated : int;  (** candidate CQs produced *)
+  explored : int;  (** CQs popped from the frontier *)
+  kept : int;  (** disjuncts in the final UCQ *)
+  max_depth : int;  (** deepest rewriting step applied *)
+}
+
+type result = {
+  ucq : Cq.ucq;
+  outcome : outcome;
+  stats : stats;
+}
+
+type config = {
+  max_cqs : int;  (** budget on generated CQs (default 20_000) *)
+  max_depth : int;  (** budget on rewriting depth (default 1_000) *)
+  max_body_atoms : int;  (** drop candidates with larger bodies (default 64) *)
+  prune_subsumed : bool;  (** containment-based pruning (default true) *)
+}
+
+val default_config : config
+
+val ucq : ?config:config -> Program.t -> Cq.t -> result
+(** Rewrite a CQ. Multi-head rules are single-head-normalized first;
+    disjuncts mentioning auxiliary predicates are removed from the final
+    UCQ (they cannot match the extensional database). The input CQ is always
+    a disjunct of the result. *)
+
+val ucq_of_union : ?config:config -> Program.t -> Cq.ucq -> result
+(** Rewrite every disjunct and union the results (Definition 1 speaks of
+    UCQs; a UCQ rewriting is the union of the per-CQ rewritings). *)

@@ -1,0 +1,1 @@
+test/test_chase.ml: Alcotest Array Atom Certain Chase Cq Egd Egd_chase Eval Instance List Null_gen Printf Program Symbol Term Tgd Tgd_chase Tgd_db Tgd_gen Tgd_logic Trigger Value

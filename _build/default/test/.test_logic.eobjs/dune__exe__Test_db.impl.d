@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Atom Cq Csv_io Datalog Eval Instance List Plan Printf Program Relation Sql String Symbol Term Tgd Tgd_db Tgd_logic Tuple Value

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Atom Dl_ext Dl_lite Format Gen_db Gen_tgd List Printf Program Rng Symbol Term Tgd Tgd_classes Tgd_core Tgd_db Tgd_gen Tgd_logic Tgd_obda Tgd_rewrite University

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Format Hashtbl List Printf String Tgd_graph

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Atom Cq Eval Format Instance List Printf Program Sql String Symbol Term Tgd_chase Tgd_classes Tgd_core Tgd_db Tgd_gen Tgd_logic Tgd_parser Tgd_rewrite Tuple

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Atom Containment Cq Homomorphism List Program String Subst Symbol Term Tgd Tgd_core Tgd_logic Unify

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Atom Cq Format List Program String Symbol Term Tgd Tgd_core Tgd_gen Tgd_logic Tgd_parser

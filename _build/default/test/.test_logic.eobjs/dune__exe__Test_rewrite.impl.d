@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Atom Containment Cq List Piece Printf Program Rewrite String Symbol Term Tgd Tgd_core Tgd_gen Tgd_logic Tgd_rewrite

@@ -1,0 +1,298 @@
+(* Unit tests for the chase engine: triggers, oblivious vs restricted,
+   termination, budgets, certain answers. *)
+
+open Tgd_logic
+open Tgd_db
+open Tgd_chase
+
+let v = Term.var
+let c = Term.const
+let atom p args = Atom.of_strings p args
+let tuple l = Array.of_list (List.map Value.const l)
+
+let person_project =
+  Program.make_exn ~name:"pp"
+    [
+      Tgd.make ~name:"has_member" ~body:[ atom "project" [ v "P" ] ]
+        ~head:[ atom "member" [ v "P"; v "M" ] ];
+      Tgd.make ~name:"member_person" ~body:[ atom "member" [ v "P"; v "M" ] ]
+        ~head:[ atom "person" [ v "M" ] ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Trigger *)
+
+let test_trigger_discovery () =
+  let inst = Instance.of_atoms [ atom "project" [ c "apollo" ]; atom "project" [ c "gemini" ] ] in
+  let triggers = Trigger.find_new person_project inst ~delta:None in
+  Alcotest.(check int) "one per project" 2 (List.length triggers)
+
+let test_trigger_satisfaction () =
+  let inst =
+    Instance.of_atoms [ atom "project" [ c "apollo" ]; atom "member" [ c "apollo"; c "alan" ] ]
+  in
+  let triggers = Trigger.find_new person_project inst ~delta:None in
+  let has_member_trigger =
+    List.find (fun tr -> tr.Trigger.rule.Tgd.name = "has_member") triggers
+  in
+  Alcotest.(check bool) "head already satisfied" true
+    (Trigger.is_satisfied has_member_trigger inst)
+
+let test_trigger_head_facts_share_nulls () =
+  let r =
+    Tgd.make ~name:"r" ~body:[ atom "p" [ v "X" ] ]
+      ~head:[ atom "q" [ v "X"; v "Z" ]; atom "s" [ v "Z" ] ]
+  in
+  let program = Program.make_exn [ r ] in
+  let inst = Instance.of_atoms [ atom "p" [ c "a" ] ] in
+  match Trigger.find_new program inst ~delta:None with
+  | [ tr ] ->
+    let gen = Null_gen.create () in
+    (match Trigger.head_facts tr gen with
+    | [ (_, t1); (_, t2) ] ->
+      Alcotest.(check bool) "same null in both head atoms" true (Value.equal t1.(1) t2.(0));
+      Alcotest.(check bool) "null is a null" true (Value.is_null t1.(1))
+    | _ -> Alcotest.fail "expected two head facts")
+  | _ -> Alcotest.fail "expected one trigger"
+
+let test_trigger_delta_restriction () =
+  let inst = Instance.of_atoms [ atom "project" [ c "apollo" ]; atom "project" [ c "gemini" ] ] in
+  let delta = Symbol.Table.create 4 in
+  Symbol.Table.add delta (Symbol.intern "project") [ tuple [ "apollo" ] ];
+  let triggers = Trigger.find_new person_project inst ~delta:(Some delta) in
+  Alcotest.(check int) "only the delta project" 1 (List.length triggers)
+
+(* ------------------------------------------------------------------ *)
+(* Chase *)
+
+let test_restricted_no_new_null_when_satisfied () =
+  let inst =
+    Instance.of_atoms [ atom "project" [ c "apollo" ]; atom "member" [ c "apollo"; c "alan" ] ]
+  in
+  let stats = Chase.run person_project inst in
+  Alcotest.(check bool) "terminated" true (stats.Chase.outcome = Chase.Terminated);
+  Alcotest.(check int) "no null invented" 0 stats.Chase.nulls;
+  (* person(alan) was derived. *)
+  let q = Cq.make ~name:"q" ~answer:[] ~body:[ atom "person" [ c "alan" ] ] in
+  Alcotest.(check bool) "person derived" true (Eval.cq_exists inst q)
+
+let test_restricted_invents_when_needed () =
+  let inst = Instance.of_atoms [ atom "project" [ c "apollo" ] ] in
+  let stats = Chase.run person_project inst in
+  Alcotest.(check int) "one null" 1 stats.Chase.nulls;
+  Alcotest.(check int) "member + person" 2 stats.Chase.new_facts
+
+let test_oblivious_fires_more () =
+  let inst =
+    Instance.of_atoms [ atom "project" [ c "apollo" ]; atom "member" [ c "apollo"; c "alan" ] ]
+  in
+  let stats = Chase.run ~variant:Chase.Oblivious person_project inst in
+  (* Oblivious fires has_member even though satisfied: invents a null. *)
+  Alcotest.(check bool) "null invented" true (stats.Chase.nulls >= 1)
+
+let test_chase_budget () =
+  (* Non-terminating: p(X) -> r(X,Y); r(X,Y) -> p(Y). *)
+  let p =
+    Program.make_exn
+      [
+        Tgd.make ~name:"r1" ~body:[ atom "p" [ v "X" ] ] ~head:[ atom "r" [ v "X"; v "Y" ] ];
+        Tgd.make ~name:"r2" ~body:[ atom "r" [ v "X"; v "Y" ] ] ~head:[ atom "p" [ v "Y" ] ];
+      ]
+  in
+  let inst = Instance.of_atoms [ atom "p" [ c "a" ] ] in
+  let stats = Chase.run ~max_rounds:10 p inst in
+  Alcotest.(check bool) "budget exhausted" true (stats.Chase.outcome = Chase.Budget_exhausted);
+  Alcotest.(check bool) "progress was made" true (stats.Chase.new_facts > 5)
+
+let test_chase_weakly_acyclic_terminates () =
+  let rng = Tgd_gen.Rng.create 3 in
+  let data = Tgd_gen.University.generate_data rng ~scale:50 in
+  let stats = Chase.run Tgd_gen.University.ontology data in
+  Alcotest.(check bool) "terminates" true (stats.Chase.outcome = Chase.Terminated)
+
+let test_chase_models_program () =
+  (* After a terminated chase, no active trigger remains. *)
+  let inst = Instance.of_atoms [ atom "project" [ c "apollo" ]; atom "project" [ c "x" ] ] in
+  let _ = Chase.run person_project inst in
+  let triggers = Trigger.find_new person_project inst ~delta:None in
+  List.iter
+    (fun tr -> Alcotest.(check bool) "trigger satisfied" true (Trigger.is_satisfied tr inst))
+    triggers
+
+let test_chase_multi_head () =
+  let p =
+    Program.make_exn
+      [
+        Tgd.make ~name:"mh" ~body:[ atom "a" [ v "X" ] ]
+          ~head:[ atom "b" [ v "X"; v "Z" ]; atom "c" [ v "Z" ] ];
+      ]
+  in
+  let inst = Instance.of_atoms [ atom "a" [ c "k" ] ] in
+  let stats = Chase.run p inst in
+  Alcotest.(check int) "both head atoms" 2 stats.Chase.new_facts;
+  let q =
+    Cq.make ~name:"q" ~answer:[] ~body:[ atom "b" [ c "k"; v "Z" ]; atom "c" [ v "Z" ] ]
+  in
+  Alcotest.(check bool) "joined on the same null" true (Eval.cq_exists inst q)
+
+(* ------------------------------------------------------------------ *)
+(* EGDs *)
+
+let funct_r = Egd.functional "r" ~arity:2 ~key:[ 1 ] ~determined:2
+
+let test_egd_make_validation () =
+  Alcotest.check_raises "variables must occur"
+    (Invalid_argument "Egd.make: equated variables must occur in the body") (fun () ->
+      ignore
+        (Egd.make ?name:None ~body:[ atom "p" [ v "X" ] ] ~left:(Symbol.intern "X")
+           ~right:(Symbol.intern "Q")))
+
+let test_egd_functional_shape () =
+  Alcotest.(check int) "two body atoms" 2 (List.length funct_r.Egd.body);
+  Alcotest.check_raises "bad position" (Invalid_argument "Egd.functional: bad determined position")
+    (fun () -> ignore (Egd.functional "r" ~arity:2 ~key:[ 1 ] ~determined:5))
+
+let test_egd_satisfied () =
+  let inst = Instance.of_atoms [ atom "r" [ c "a"; c "b" ]; atom "r" [ c "x"; c "b" ] ] in
+  match Egd_chase.saturate [ funct_r ] inst with
+  | Ok (_, merges) -> Alcotest.(check int) "no merges needed" 0 merges
+  | Error _ -> Alcotest.fail "spurious violation"
+
+let test_egd_hard_violation () =
+  let inst = Instance.of_atoms [ atom "r" [ c "a"; c "b" ]; atom "r" [ c "a"; c "d" ] ] in
+  match Egd_chase.saturate [ funct_r ] inst with
+  | Ok _ -> Alcotest.fail "expected a violation: r(a,b), r(a,d) with funct r"
+  | Error viol ->
+    Alcotest.(check bool) "both constants reported" true
+      (Value.is_null viol.Egd_chase.v1 = false && Value.is_null viol.Egd_chase.v2 = false)
+
+let test_egd_merges_nulls () =
+  let inst = Instance.create () in
+  ignore (Instance.add_fact inst (Symbol.intern "r") [| Value.const "a"; Value.const "b" |]);
+  ignore (Instance.add_fact inst (Symbol.intern "r") [| Value.const "a"; Value.Null 1 |]);
+  ignore (Instance.add_fact inst (Symbol.intern "q") [| Value.Null 1 |]);
+  match Egd_chase.saturate [ funct_r ] inst with
+  | Error _ -> Alcotest.fail "null merge must not fail"
+  | Ok (merged, merges) ->
+    Alcotest.(check int) "one merge" 1 merges;
+    (* The null was identified with b everywhere: q(b) now holds and the two
+       r-facts collapsed into one. *)
+    let q = Cq.make ~name:"q" ~answer:[] ~body:[ atom "q" [ c "b" ] ] in
+    Alcotest.(check bool) "null renamed in q" true (Eval.cq_exists merged q);
+    Alcotest.(check int) "r collapsed" 2 (Instance.cardinality merged)
+
+let test_egd_combined_chase () =
+  (* person(X) -> has_mother(X, M) plus functionality of has_mother: the
+     invented mother merges with a known one. *)
+  let tgds =
+    Program.make_exn
+      [
+        Tgd.make ~name:"mother" ~body:[ atom "person" [ v "X" ] ]
+          ~head:[ atom "has_mother" [ v "X"; v "M" ] ];
+      ]
+  in
+  let funct_mother = Egd.functional "has_mother" ~arity:2 ~key:[ 1 ] ~determined:2 in
+  let inst =
+    Instance.of_atoms [ atom "person" [ c "ada" ]; atom "has_mother" [ c "ada"; c "ida" ] ]
+  in
+  let outcome = Egd_chase.run ~tgds ~egds:[ funct_mother ] inst in
+  Alcotest.(check bool) "consistent" true outcome.Egd_chase.consistent;
+  (* Either the restricted chase never invented a witness, or the EGD merged
+     it with ida; in both cases exactly one mother and no null remains. *)
+  let q = Cq.make ~name:"q" ~answer:[ v "M" ] ~body:[ atom "has_mother" [ c "ada"; v "M" ] ] in
+  (match Eval.cq outcome.Egd_chase.instance q with
+  | [ t ] -> Alcotest.(check bool) "the known mother" true (Value.equal t.(0) (Value.const "ida"))
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 mother, got %d" (List.length other)));
+  Alcotest.(check bool) "input untouched" true (Instance.cardinality inst = 2)
+
+let test_egd_dl_lite_f_consistency () =
+  (* DL-Lite_F: funct(advises-): a student with two advisors is fine for
+     funct(advises) keyed on the advisor... keyed on the student it is a
+     violation. *)
+  let funct_inv = Tgd_gen.Dl_lite.functionality (Tgd_gen.Dl_lite.Inv "advises") in
+  let tgds = Program.make_exn ~name:"empty" [] in
+  let ok = Instance.of_atoms [ atom "advises" [ c "prof1"; c "sam" ]; atom "advises" [ c "prof1"; c "lee" ] ] in
+  Alcotest.(check bool) "one advisor each: consistent" true
+    (Egd_chase.check_consistency ~tgds ~egds:[ funct_inv ] ok);
+  let bad = Instance.of_atoms [ atom "advises" [ c "prof1"; c "sam" ]; atom "advises" [ c "prof2"; c "sam" ] ] in
+  Alcotest.(check bool) "two advisors for sam: inconsistent" false
+    (Egd_chase.check_consistency ~tgds ~egds:[ funct_inv ] bad)
+
+(* ------------------------------------------------------------------ *)
+(* Certain *)
+
+let test_certain_excludes_nulls () =
+  let inst = Instance.of_atoms [ atom "project" [ c "apollo" ] ] in
+  let members =
+    Cq.make ~name:"m" ~answer:[ v "M" ] ~body:[ atom "member" [ v "P"; v "M" ] ]
+  in
+  let r = Certain.cq person_project inst members in
+  Alcotest.(check bool) "exact" true r.Certain.exact;
+  Alcotest.(check int) "the invented member is not certain" 0 (List.length r.Certain.answers)
+
+let test_certain_boolean_with_nulls () =
+  (* Boolean queries can be certain even through nulls. *)
+  let inst = Instance.of_atoms [ atom "project" [ c "apollo" ] ] in
+  let somebody = Cq.make ~name:"q" ~answer:[] ~body:[ atom "person" [ v "X" ] ] in
+  let r = Certain.cq person_project inst somebody in
+  Alcotest.(check int) "boolean certain answer" 1 (List.length r.Certain.answers)
+
+let test_certain_input_untouched () =
+  let inst = Instance.of_atoms [ atom "project" [ c "apollo" ] ] in
+  let q = Cq.make ~name:"q" ~answer:[] ~body:[ atom "person" [ v "X" ] ] in
+  let _ = Certain.cq person_project inst q in
+  Alcotest.(check int) "input instance unchanged" 1 (Instance.cardinality inst)
+
+let test_certain_inexact_flag () =
+  let p =
+    Program.make_exn
+      [
+        Tgd.make ~name:"r1" ~body:[ atom "p" [ v "X" ] ] ~head:[ atom "r" [ v "X"; v "Y" ] ];
+        Tgd.make ~name:"r2" ~body:[ atom "r" [ v "X"; v "Y" ] ] ~head:[ atom "p" [ v "Y" ] ];
+      ]
+  in
+  let inst = Instance.of_atoms [ atom "p" [ c "a" ] ] in
+  let q = Cq.make ~name:"q" ~answer:[] ~body:[ atom "p" [ c "a" ] ] in
+  let r = Certain.cq ~max_rounds:5 p inst q in
+  Alcotest.(check bool) "flagged inexact" false r.Certain.exact;
+  Alcotest.(check int) "still sound" 1 (List.length r.Certain.answers)
+
+let () =
+  Alcotest.run "chase"
+    [
+      ( "trigger",
+        [
+          Alcotest.test_case "discovery" `Quick test_trigger_discovery;
+          Alcotest.test_case "satisfaction" `Quick test_trigger_satisfaction;
+          Alcotest.test_case "head facts share nulls" `Quick test_trigger_head_facts_share_nulls;
+          Alcotest.test_case "delta restriction" `Quick test_trigger_delta_restriction;
+        ] );
+      ( "chase",
+        [
+          Alcotest.test_case "restricted skips satisfied" `Quick
+            test_restricted_no_new_null_when_satisfied;
+          Alcotest.test_case "restricted invents" `Quick test_restricted_invents_when_needed;
+          Alcotest.test_case "oblivious fires more" `Quick test_oblivious_fires_more;
+          Alcotest.test_case "budget" `Quick test_chase_budget;
+          Alcotest.test_case "weakly acyclic terminates" `Quick test_chase_weakly_acyclic_terminates;
+          Alcotest.test_case "result models program" `Quick test_chase_models_program;
+          Alcotest.test_case "multi-head nulls" `Quick test_chase_multi_head;
+        ] );
+      ( "egd",
+        [
+          Alcotest.test_case "validation" `Quick test_egd_make_validation;
+          Alcotest.test_case "functional shape" `Quick test_egd_functional_shape;
+          Alcotest.test_case "satisfied" `Quick test_egd_satisfied;
+          Alcotest.test_case "hard violation" `Quick test_egd_hard_violation;
+          Alcotest.test_case "null merging" `Quick test_egd_merges_nulls;
+          Alcotest.test_case "combined chase" `Quick test_egd_combined_chase;
+          Alcotest.test_case "dl-lite_f consistency" `Quick test_egd_dl_lite_f_consistency;
+        ] );
+      ( "certain",
+        [
+          Alcotest.test_case "nulls excluded" `Quick test_certain_excludes_nulls;
+          Alcotest.test_case "boolean through nulls" `Quick test_certain_boolean_with_nulls;
+          Alcotest.test_case "input untouched" `Quick test_certain_input_untouched;
+          Alcotest.test_case "inexact flag" `Quick test_certain_inexact_flag;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Unit tests for the baseline TGD class checkers. *)
+
+open Tgd_logic
+open Tgd_classes
+
+let v = Term.var
+let c = Term.const
+let atom p args = Atom.of_strings p args
+let tgd name body head = Tgd.make ~name ~body ~head
+let prog rules = Program.make_exn rules
+
+let ex1 = Tgd_core.Paper_examples.example1
+let ex2 = Tgd_core.Paper_examples.example2
+let ex3 = Tgd_core.Paper_examples.example3
+
+(* ------------------------------------------------------------------ *)
+(* Datalog / Linear / Guarded / Multilinear *)
+
+let test_datalog () =
+  Alcotest.(check bool) "tc is datalog" true
+    (Datalog_class.check
+       (prog [ tgd "r" [ atom "e" [ v "X"; v "Y" ] ] [ atom "p" [ v "X"; v "Y" ] ] ]));
+  Alcotest.(check bool) "example1 has existentials" false (Datalog_class.check ex1)
+
+let test_linear () =
+  Alcotest.(check bool) "single body atom" true
+    (Linear.check (prog [ tgd "r" [ atom "p" [ v "X" ] ] [ atom "q" [ v "X"; v "Z" ] ] ]));
+  Alcotest.(check bool) "example1 not linear (R1 has 2 body atoms)" false (Linear.check ex1);
+  Alcotest.(check bool) "example3 not linear (R3)" false (Linear.check ex3)
+
+let test_guarded () =
+  let guarded_rule =
+    tgd "g" [ atom "big" [ v "X"; v "Y"; v "Z" ]; atom "p" [ v "X"; v "Y" ] ] [ atom "q" [ v "Z" ] ]
+  in
+  Alcotest.(check bool) "guard present" true (Guarded.check (prog [ guarded_rule ]));
+  let unguarded =
+    tgd "u" [ atom "p" [ v "X"; v "Y" ]; atom "p" [ v "Y"; v "Z" ] ] [ atom "q" [ v "X" ] ]
+  in
+  Alcotest.(check bool) "no guard" false (Guarded.check (prog [ unguarded ]));
+  Alcotest.(check bool) "linear implies guarded" true
+    (Guarded.check (prog [ tgd "l" [ atom "p" [ v "X"; v "Y" ] ] [ atom "q" [ v "X" ] ] ]))
+
+let test_multilinear () =
+  (* Every body atom contains all body variables. *)
+  let ml =
+    tgd "m" [ atom "p" [ v "X"; v "Y" ]; atom "r" [ v "Y"; v "X" ] ] [ atom "q" [ v "X" ] ]
+  in
+  Alcotest.(check bool) "permuted atoms" true (Multilinear.check (prog [ ml ]));
+  (* The paper's justification: u(Y1) in Example 3's R3 misses Y2. *)
+  Alcotest.(check bool) "example3 not multilinear" false (Multilinear.check ex3);
+  Alcotest.(check bool) "example1 not multilinear" false (Multilinear.check ex1)
+
+let test_class_inclusions () =
+  (* Structural: linear => multilinear => guarded, on random programs. *)
+  let rng = Tgd_gen.Rng.create 11 in
+  for i = 0 to 30 do
+    let p =
+      Tgd_gen.Gen_tgd.random_program ~name:(Printf.sprintf "p%d" i) rng
+        { Tgd_gen.Gen_tgd.default_config with n_rules = 5 }
+    in
+    if Linear.check p then
+      Alcotest.(check bool) "linear => multilinear" true (Multilinear.check p);
+    if Multilinear.check p then Alcotest.(check bool) "multilinear => guarded" true (Guarded.check p)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sticky / Sticky-Join *)
+
+let test_sticky_paper_example3 () =
+  (* The paper: Example 3 is neither sticky (Y1 twice in one atom) nor
+     sticky-join (Y1 in two body atoms of R3). *)
+  Alcotest.(check bool) "not sticky" false (Sticky.sticky ex3);
+  Alcotest.(check bool) "not sticky-join" false (Sticky.sticky_join ex3)
+
+let test_sticky_example1 () =
+  (* Example 1: joins only through variables that survive into heads along
+     non-marked positions; the standard marking leaves every join variable
+     unmarked, so the set is sticky. *)
+  Alcotest.(check bool) "example1 sticky" true (Sticky.sticky ex1);
+  Alcotest.(check bool) "sticky implies sticky-join" true (Sticky.sticky_join ex1)
+
+let test_sticky_marking_propagation () =
+  (* R1: r(X,Y) -> t(Y): X marked (not in head).
+     R2: s(X,Y) -> r(X,Y): nothing marked at base, and no head variable of
+     R2 lands in a marked position (r[1] is marked through R1's X)... X of
+     R2 occurs in head r at position 1 which IS marked, so X gets marked in
+     body(R2) at s[1]. A rule joining on such a variable twice breaks
+     stickiness. *)
+  let r1 = tgd "r1" [ atom "r" [ v "X"; v "Y" ] ] [ atom "t" [ v "Y" ] ] in
+  let r2 = tgd "r2" [ atom "s" [ v "X"; v "Y" ] ] [ atom "r" [ v "X"; v "Y" ] ] in
+  let r3 =
+    tgd "r3" [ atom "u" [ v "X" ]; atom "w" [ v "X" ] ] [ atom "s" [ v "X"; v "Z" ] ]
+  in
+  (* X in r3 occurs in head s at position 1; s[1] is marked via r2; X is in
+     two body atoms => not sticky-join, not sticky. *)
+  let p = prog [ r1; r2; r3 ] in
+  Alcotest.(check bool) "propagated marking breaks sticky" false (Sticky.sticky p);
+  Alcotest.(check bool) "and sticky-join" false (Sticky.sticky_join p);
+  (* Without r1 the position is unmarked and the join is harmless. *)
+  let p' = prog [ r2; r3 ] in
+  Alcotest.(check bool) "no marking, sticky" true (Sticky.sticky p')
+
+let test_sticky_join_weaker_than_sticky () =
+  (* Repeated marked variable inside ONE atom: sticky fails, sticky-join
+     holds. *)
+  let r = tgd "r" [ atom "p" [ v "X"; v "X" ] ] [ atom "q" [ v "Z" ] ] in
+  let p = prog [ r ] in
+  Alcotest.(check bool) "not sticky" false (Sticky.sticky p);
+  Alcotest.(check bool) "but sticky-join" true (Sticky.sticky_join p)
+
+let test_marked_positions_report () =
+  let r1 = tgd "r1" [ atom "r" [ v "X"; v "Y" ] ] [ atom "t" [ v "Y" ] ] in
+  let p = prog [ r1 ] in
+  let m = Sticky.marking p in
+  Alcotest.(check (list (pair int int))) "X marked at (0,0)" [ (0, 0) ]
+    (Sticky.marked_positions m r1)
+
+(* ------------------------------------------------------------------ *)
+(* Weak acyclicity *)
+
+let test_weakly_acyclic_positive () =
+  (* A simple hierarchy chases finitely. *)
+  Alcotest.(check bool) "university is weakly acyclic" true
+    (Weakly_acyclic.check Tgd_gen.University.ontology)
+
+let test_weakly_acyclic_negative () =
+  (* p(X) -> r(X,Y); r(X,Y) -> p(Y): special edge in a cycle. *)
+  let p =
+    prog
+      [
+        tgd "r1" [ atom "p" [ v "X" ] ] [ atom "r" [ v "X"; v "Y" ] ];
+        tgd "r2" [ atom "r" [ v "X"; v "Y" ] ] [ atom "p" [ v "Y" ] ];
+      ]
+  in
+  Alcotest.(check bool) "not weakly acyclic" false (Weakly_acyclic.check p)
+
+let test_weakly_acyclic_datalog_cycles_ok () =
+  (* Recursion without existentials is weakly acyclic. *)
+  let p =
+    prog
+      [
+        tgd "tc" [ atom "e" [ v "X"; v "Y" ]; atom "p" [ v "Y"; v "Z" ] ]
+          [ atom "p" [ v "X"; v "Z" ] ];
+        tgd "base" [ atom "e" [ v "X"; v "Y" ] ] [ atom "p" [ v "X"; v "Y" ] ];
+      ]
+  in
+  Alcotest.(check bool) "datalog recursion fine" true (Weakly_acyclic.check p)
+
+let test_weakly_acyclic_graph_edges () =
+  let p = prog [ tgd "r" [ atom "p" [ v "X" ] ] [ atom "q" [ v "X"; v "Z" ] ] ] in
+  let edges = Weakly_acyclic.graph p in
+  let normals = List.filter (fun (_, k, _) -> k = Weakly_acyclic.Normal) edges in
+  let specials = List.filter (fun (_, k, _) -> k = Weakly_acyclic.Special) edges in
+  Alcotest.(check int) "one normal edge (p1 -> q1)" 1 (List.length normals);
+  Alcotest.(check int) "one special edge (p1 -> q2)" 1 (List.length specials)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-restricted *)
+
+let test_domain_restricted () =
+  (* Head contains all body variables. *)
+  let all_vars =
+    tgd "a" [ atom "p" [ v "X"; v "Y" ] ] [ atom "q" [ v "X"; v "Y"; v "Z" ] ]
+  in
+  Alcotest.(check bool) "all body vars in head" true (Domain_restricted.check (prog [ all_vars ]));
+  (* Head contains none of the body variables. *)
+  let no_vars = tgd "n" [ atom "p" [ v "X"; v "Y" ] ] [ atom "q" [ v "Z"; v "W" ] ] in
+  Alcotest.(check bool) "no body vars in head" true (Domain_restricted.check (prog [ no_vars ]));
+  (* Head contains a strict non-empty subset: rejected. *)
+  let some_vars = tgd "s" [ atom "p" [ v "X"; v "Y" ] ] [ atom "q" [ v "X"; v "Z" ] ] in
+  Alcotest.(check bool) "partial head rejected" false (Domain_restricted.check (prog [ some_vars ]))
+
+(* ------------------------------------------------------------------ *)
+(* Graph of rule dependencies *)
+
+let test_grd_dependency () =
+  let r1 = tgd "r1" [ atom "a" [ v "X" ] ] [ atom "b" [ v "X" ] ] in
+  let r2 = tgd "r2" [ atom "b" [ v "X" ] ] [ atom "c" [ v "X" ] ] in
+  Alcotest.(check bool) "r2 depends on r1" true (Rule_dependency.depends ~on:r1 r2);
+  Alcotest.(check bool) "r1 does not depend on r2" false (Rule_dependency.depends ~on:r2 r1)
+
+let test_grd_acyclic () =
+  let r1 = tgd "r1" [ atom "a" [ v "X" ] ] [ atom "b" [ v "X" ] ] in
+  let r2 = tgd "r2" [ atom "b" [ v "X" ] ] [ atom "c" [ v "X" ] ] in
+  Alcotest.(check bool) "chain acyclic" true (Rule_dependency.acyclic (prog [ r1; r2 ]));
+  let r3 = tgd "r3" [ atom "c" [ v "X" ] ] [ atom "a" [ v "X" ] ] in
+  Alcotest.(check bool) "closing the loop" false (Rule_dependency.acyclic (prog [ r1; r2; r3 ]))
+
+let test_grd_existential_blocks_dependency () =
+  (* r1: a(X) -> b(X,Z) with Z existential; r2: b(X,X) -> c(X). The atom
+     b(X,X) forces the existential position to equal the frontier one, so
+     r1 cannot trigger r2. *)
+  let r1 = tgd "r1" [ atom "a" [ v "X" ] ] [ atom "b" [ v "X"; v "Z" ] ] in
+  let r2 = tgd "r2" [ atom "b" [ v "X"; v "X" ] ] [ atom "c" [ v "X" ] ] in
+  Alcotest.(check bool) "blocked by repeated variable" false (Rule_dependency.depends ~on:r1 r2)
+
+let test_grd_example2_cyclic () =
+  Alcotest.(check bool) "example2 has cyclic GRD" false (Rule_dependency.acyclic ex2)
+
+let () =
+  Alcotest.run "classes"
+    [
+      ( "shape classes",
+        [
+          Alcotest.test_case "datalog" `Quick test_datalog;
+          Alcotest.test_case "linear" `Quick test_linear;
+          Alcotest.test_case "guarded" `Quick test_guarded;
+          Alcotest.test_case "multilinear" `Quick test_multilinear;
+          Alcotest.test_case "inclusions" `Quick test_class_inclusions;
+        ] );
+      ( "sticky",
+        [
+          Alcotest.test_case "paper example 3" `Quick test_sticky_paper_example3;
+          Alcotest.test_case "paper example 1" `Quick test_sticky_example1;
+          Alcotest.test_case "marking propagation" `Quick test_sticky_marking_propagation;
+          Alcotest.test_case "sticky-join weaker" `Quick test_sticky_join_weaker_than_sticky;
+          Alcotest.test_case "marked positions" `Quick test_marked_positions_report;
+        ] );
+      ( "weak acyclicity",
+        [
+          Alcotest.test_case "positive" `Quick test_weakly_acyclic_positive;
+          Alcotest.test_case "negative" `Quick test_weakly_acyclic_negative;
+          Alcotest.test_case "datalog recursion" `Quick test_weakly_acyclic_datalog_cycles_ok;
+          Alcotest.test_case "graph edges" `Quick test_weakly_acyclic_graph_edges;
+        ] );
+      ( "domain-restricted",
+        [ Alcotest.test_case "all-or-none" `Quick test_domain_restricted ] );
+      ( "rule dependencies",
+        [
+          Alcotest.test_case "dependency" `Quick test_grd_dependency;
+          Alcotest.test_case "acyclicity" `Quick test_grd_acyclic;
+          Alcotest.test_case "existential blocking" `Quick test_grd_existential_blocks_dependency;
+          Alcotest.test_case "example2 cyclic" `Quick test_grd_example2_cyclic;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* End-to-end tests of the command-line front end: run the real obda binary
+   on generated ontology files and check its output. The test stanza
+   declares a dependency on ../bin/obda.exe; dune runs tests with the test
+   directory as the working directory. *)
+
+(* Under `dune runtest` the working directory is the test stanza dir inside
+   _build; under `dune exec` it is the workspace root. Try both. *)
+let obda =
+  let candidates =
+    [ "../bin/obda.exe"; "_build/default/bin/obda.exe"; "bin/obda.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> "../bin/obda.exe"
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_cmd args =
+  let out = Filename.temp_file "obda_out" ".txt" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" obda args out in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let len = in_channel_length ic in
+  let output = really_input_string ic len in
+  close_in ic;
+  Sys.remove out;
+  (code, output)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let example1_file () =
+  let path = Filename.temp_file "ex1" ".tgd" in
+  write_file path
+    {|
+      [R1] s(Y1,Y2,Y3), t(Y4) -> r(Y1,Y3).
+      [R2] v(Y1,Y2), q(Y2) -> s(Y1,Y3,Y2).
+      [R3] r(Y1,Y2) -> v(Y1,Y2).
+      v(ann, db). q(db). t(foo).
+      ans(X) :- r(X, Y).
+    |};
+  path
+
+let test_classify () =
+  let file = example1_file () in
+  let code, out = run_cmd ("classify " ^ file) in
+  Sys.remove file;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "swr yes" true (contains out "swr                yes");
+  Alcotest.(check bool) "witness reported" true (contains out "FO-rewritable")
+
+let test_answer () =
+  let file = example1_file () in
+  let code, out = run_cmd ("answer " ^ file) in
+  Sys.remove file;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "finds ann" true (contains out "(ann)")
+
+let test_rewrite_sql () =
+  let file = example1_file () in
+  let code, out = run_cmd ("rewrite --sql " ^ file) in
+  Sys.remove file;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "union of three" true (contains out "UNION");
+  Alcotest.(check bool) "select" true (contains out "SELECT DISTINCT")
+
+let test_chase () =
+  let file = example1_file () in
+  let code, out = run_cmd ("chase --facts " ^ file) in
+  Sys.remove file;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "terminated" true (contains out "terminated");
+  Alcotest.(check bool) "derived r(ann,..)" true (contains out "r(ann")
+
+let test_graph_dot () =
+  let file = example1_file () in
+  let code, out = run_cmd ("graph -k position " ^ file) in
+  Sys.remove file;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "dot header" true (contains out "digraph");
+  Alcotest.(check bool) "has the r[ ] node" true (contains out "r[ ]")
+
+let test_check_inconsistent () =
+  let path = Filename.temp_file "nc" ".tgd" in
+  write_file path
+    {|
+      [u1] undergrad(X) -> student(X).
+      [p1] prof(X) -> faculty(X).
+      [disj] student(X), faculty(X) -> falsum.
+      undergrad(ada). prof(ada).
+    |};
+  let code, out = run_cmd ("check " ^ path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 1 on inconsistency" 1 code;
+  Alcotest.(check bool) "violation named" true (contains out "disj")
+
+let test_approx () =
+  let path = Filename.temp_file "approx" ".tgd" in
+  write_file path
+    {|
+      [R1] t(Y1,Y2), r(Y3,Y4) -> s(Y1,Y3,Y2).
+      [R2] s(Y1,Y1,Y2) -> r(Y2,Y3).
+      t(a,b). r(u,w). s(k,k,b).
+      q(X) :- r(X, Y).
+    |};
+  let code, out = run_cmd ("approx " ^ path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "reports removal" true (contains out "removed");
+  Alcotest.(check bool) "certain answer u" true (contains out "certain  (u)")
+
+let test_patterns () =
+  let path = Filename.temp_file "pat" ".tgd" in
+  write_file path
+    {|
+      [R1] t(Y1,Y2), r(Y3,Y4) -> s(Y1,Y3,Y2).
+      [R2] s(Y1,Y1,Y2) -> r(Y2,Y3).
+    |};
+  let code, out = run_cmd ("patterns --max-cqs 500 " ^ path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "r(b,u) diverges" true (contains out "r(b,u)");
+  Alcotest.(check bool) "some pattern terminates" true (contains out "terminates")
+
+let test_parse_error_reporting () =
+  let path = Filename.temp_file "broken" ".tgd" in
+  write_file path "p(a) -> ;\n";
+  let code, out = run_cmd ("classify " ^ path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "parse error with location" true (contains out "parse error")
+
+let test_data_csv () =
+  let file = example1_file () in
+  let csv = Filename.temp_file "facts" ".csv" in
+  write_file csv "v,bob,ml\nq,ml\n";
+  let code, out = run_cmd (Printf.sprintf "answer %s --data %s" file csv) in
+  Sys.remove file;
+  Sys.remove csv;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "csv fact used" true (contains out "(bob)")
+
+let () =
+  if not (Sys.file_exists obda) then begin
+    (* Defensive: the dune deps field guarantees the binary exists; make the
+       failure readable if the layout ever changes. *)
+    Printf.eprintf "cannot find %s from %s\n" obda (Sys.getcwd ());
+    exit 1
+  end;
+  Alcotest.run "cli"
+    [
+      ( "obda",
+        [
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "answer" `Quick test_answer;
+          Alcotest.test_case "rewrite --sql" `Quick test_rewrite_sql;
+          Alcotest.test_case "chase" `Quick test_chase;
+          Alcotest.test_case "graph" `Quick test_graph_dot;
+          Alcotest.test_case "check (inconsistent)" `Quick test_check_inconsistent;
+          Alcotest.test_case "approx" `Quick test_approx;
+          Alcotest.test_case "patterns" `Quick test_patterns;
+          Alcotest.test_case "parse errors" `Quick test_parse_error_reporting;
+          Alcotest.test_case "csv data" `Quick test_data_csv;
+        ] );
+    ]

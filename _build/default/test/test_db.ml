@@ -1,0 +1,396 @@
+(* Unit tests for the relational substrate: values, tuples, relations,
+   instances, CQ evaluation, semi-naive Datalog, SQL generation. *)
+
+open Tgd_logic
+open Tgd_db
+
+let v = Term.var
+let c = Term.const
+let atom p args = Atom.of_strings p args
+let vc s = Value.const s
+let tuple l = Array.of_list (List.map vc l)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Value / Tuple *)
+
+let test_value_nulls () =
+  Alcotest.(check bool) "null <> const" false (Value.equal (Value.Null 1) (vc "1"));
+  Alcotest.(check bool) "null identity" true (Value.equal (Value.Null 7) (Value.Null 7));
+  Alcotest.(check bool) "is_null" true (Value.is_null (Value.Null 1));
+  Alcotest.(check bool) "tuple has_null" true (Tuple.has_null [| vc "a"; Value.Null 1 |]);
+  Alcotest.(check bool) "tuple no null" false (Tuple.has_null (tuple [ "a"; "b" ]))
+
+let test_value_of_term () =
+  Alcotest.(check bool) "const round trip" true
+    (Value.equal (Value.of_term (c "a")) (vc "a"));
+  Alcotest.check_raises "variable rejected" (Invalid_argument "Value.of_term: variable")
+    (fun () -> ignore (Value.of_term (v "X")))
+
+(* ------------------------------------------------------------------ *)
+(* Relation *)
+
+let test_relation_insert () =
+  let r = Relation.create ~arity:2 in
+  Alcotest.(check bool) "first insert" true (Relation.insert r (tuple [ "a"; "b" ]));
+  Alcotest.(check bool) "duplicate" false (Relation.insert r (tuple [ "a"; "b" ]));
+  Alcotest.(check int) "cardinality" 1 (Relation.cardinality r);
+  Alcotest.(check bool) "mem" true (Relation.mem r (tuple [ "a"; "b" ]));
+  Alcotest.check_raises "arity mismatch" (Invalid_argument "Relation.insert: arity mismatch")
+    (fun () -> ignore (Relation.insert r (tuple [ "a" ])))
+
+let test_relation_lookup () =
+  let r = Relation.create ~arity:2 in
+  ignore (Relation.insert r (tuple [ "a"; "b" ]));
+  ignore (Relation.insert r (tuple [ "a"; "c" ]));
+  ignore (Relation.insert r (tuple [ "d"; "b" ]));
+  Alcotest.(check int) "index col 0" 2 (List.length (Relation.lookup r ~pos:0 (vc "a")));
+  Alcotest.(check int) "index col 1" 2 (List.length (Relation.lookup r ~pos:1 (vc "b")));
+  Alcotest.(check int) "miss" 0 (List.length (Relation.lookup r ~pos:0 (vc "zz")))
+
+let test_relation_index_maintained () =
+  (* Build the index, then insert more rows: lookups must see them. *)
+  let r = Relation.create ~arity:1 in
+  ignore (Relation.insert r (tuple [ "a" ]));
+  Alcotest.(check int) "before" 1 (List.length (Relation.lookup r ~pos:0 (vc "a")));
+  ignore (Relation.insert r (tuple [ "a" ]));
+  (* duplicate: no change *)
+  ignore (Relation.insert r (tuple [ "b" ]));
+  Alcotest.(check int) "after new rows" 1 (List.length (Relation.lookup r ~pos:0 (vc "b")))
+
+(* ------------------------------------------------------------------ *)
+(* Instance *)
+
+let test_instance_basics () =
+  let inst = Instance.create () in
+  Alcotest.(check bool) "new fact" true (Instance.add_fact inst (Symbol.intern "p") (tuple [ "a" ]));
+  Alcotest.(check bool) "dup fact" false (Instance.add_fact inst (Symbol.intern "p") (tuple [ "a" ]));
+  Alcotest.(check int) "cardinality" 1 (Instance.cardinality inst);
+  Alcotest.check_raises "arity clash"
+    (Invalid_argument "Instance: predicate p used with arities 1 and 2") (fun () ->
+      ignore (Instance.add_fact inst (Symbol.intern "p") (tuple [ "a"; "b" ])))
+
+let test_instance_copy_isolated () =
+  let inst = Instance.create () in
+  ignore (Instance.add_fact inst (Symbol.intern "p") (tuple [ "a" ]));
+  let copy = Instance.copy inst in
+  ignore (Instance.add_fact copy (Symbol.intern "p") (tuple [ "b" ]));
+  Alcotest.(check int) "copy grew" 2 (Instance.cardinality copy);
+  Alcotest.(check int) "original untouched" 1 (Instance.cardinality inst)
+
+let test_instance_of_atoms () =
+  let inst = Instance.of_atoms [ atom "p" [ c "a"; c "b" ]; atom "q" [ c "x" ] ] in
+  Alcotest.(check int) "two facts" 2 (Instance.cardinality inst);
+  Alcotest.(check int) "two predicates" 2 (List.length (Instance.predicates inst));
+  Alcotest.(check int) "atoms round trip" 2 (List.length (Instance.to_atoms inst))
+
+(* ------------------------------------------------------------------ *)
+(* Eval *)
+
+let sample_db () =
+  Instance.of_atoms
+    [
+      atom "edge" [ c "a"; c "b" ];
+      atom "edge" [ c "b"; c "c" ];
+      atom "edge" [ c "c"; c "a" ];
+      atom "edge" [ c "c"; c "c" ];
+      atom "color" [ c "a"; c "red" ];
+      atom "color" [ c "b"; c "blue" ];
+    ]
+
+let test_eval_single_atom () =
+  let db = sample_db () in
+  let q = Cq.make ~name:"q" ~answer:[ v "X"; v "Y" ] ~body:[ atom "edge" [ v "X"; v "Y" ] ] in
+  Alcotest.(check int) "all edges" 4 (List.length (Eval.cq db q))
+
+let test_eval_join () =
+  let db = sample_db () in
+  let q =
+    Cq.make ~name:"q" ~answer:[ v "X"; v "Z" ]
+      ~body:[ atom "edge" [ v "X"; v "Y" ]; atom "edge" [ v "Y"; v "Z" ] ]
+  in
+  (* paths of length 2: ab-bc, bc-ca, bc-cc, ca-ab, cc-ca, cc-cc *)
+  Alcotest.(check int) "paths of length 2" 6 (List.length (Eval.cq db q))
+
+let test_eval_constant_selection () =
+  let db = sample_db () in
+  let q = Cq.make ~name:"q" ~answer:[ v "Y" ] ~body:[ atom "edge" [ c "a"; v "Y" ] ] in
+  match Eval.cq db q with
+  | [ t ] -> Alcotest.(check bool) "a's successor is b" true (Value.equal t.(0) (vc "b"))
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 answer, got %d" (List.length other))
+
+let test_eval_repeated_var () =
+  let db = sample_db () in
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "edge" [ v "X"; v "X" ] ] in
+  match Eval.cq db q with
+  | [ t ] -> Alcotest.(check bool) "self loop at c" true (Value.equal t.(0) (vc "c"))
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 answer, got %d" (List.length other))
+
+let test_eval_boolean () =
+  let db = sample_db () in
+  let sat = Cq.make ~name:"q" ~answer:[] ~body:[ atom "color" [ v "X"; c "red" ] ] in
+  let unsat = Cq.make ~name:"q" ~answer:[] ~body:[ atom "color" [ v "X"; c "green" ] ] in
+  Alcotest.(check int) "satisfied boolean: one empty tuple" 1 (List.length (Eval.cq db sat));
+  Alcotest.(check int) "unsatisfied boolean: empty" 0 (List.length (Eval.cq db unsat));
+  Alcotest.(check bool) "cq_exists" true (Eval.cq_exists db sat);
+  Alcotest.(check bool) "cq_exists false" false (Eval.cq_exists db unsat)
+
+let test_eval_missing_predicate () =
+  let db = sample_db () in
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "nothing" [ v "X" ] ] in
+  Alcotest.(check int) "no relation, no answers" 0 (List.length (Eval.cq db q))
+
+let test_eval_cross_product () =
+  let db = sample_db () in
+  let q =
+    Cq.make ~name:"q" ~answer:[ v "X"; v "U" ]
+      ~body:[ atom "color" [ v "X"; c "red" ]; atom "color" [ v "U"; v "C" ] ]
+  in
+  Alcotest.(check int) "1 x 2 product" 2 (List.length (Eval.cq db q))
+
+let test_eval_constant_answer () =
+  let db = sample_db () in
+  let q = Cq.make ~name:"q" ~answer:[ c "k"; v "X" ] ~body:[ atom "edge" [ v "X"; c "b" ] ] in
+  match Eval.cq db q with
+  | [ t ] -> Alcotest.(check bool) "constant in answer tuple" true (Value.equal t.(0) (vc "k"))
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 answer, got %d" (List.length other))
+
+let test_eval_ucq_union_dedup () =
+  let db = sample_db () in
+  let q1 = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "edge" [ v "X"; v "Y" ] ] in
+  let q2 = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "edge" [ v "Y"; v "X" ] ] in
+  (* sources: a,b,c ; targets: b,c,a,c -> union {a,b,c} *)
+  Alcotest.(check int) "deduplicated union" 3 (List.length (Eval.ucq db [ q1; q2 ]))
+
+let test_eval_forced () =
+  let db = sample_db () in
+  let body = [ atom "edge" [ v "X"; v "Y" ] ] in
+  let count = ref 0 in
+  Eval.bindings ~forced:(0, [ tuple [ "a"; "b" ] ]) db body (fun _ -> incr count);
+  Alcotest.(check int) "forced atom restricted to given tuples" 1 !count
+
+(* ------------------------------------------------------------------ *)
+(* Datalog *)
+
+let test_datalog_transitive_closure () =
+  let db = sample_db () in
+  let tc =
+    Program.make_exn ~name:"tc"
+      [
+        Tgd.make ~name:"base" ~body:[ atom "edge" [ v "X"; v "Y" ] ]
+          ~head:[ atom "path" [ v "X"; v "Y" ] ];
+        Tgd.make ~name:"step"
+          ~body:[ atom "path" [ v "X"; v "Y" ]; atom "edge" [ v "Y"; v "Z" ] ]
+          ~head:[ atom "path" [ v "X"; v "Z" ] ];
+      ]
+  in
+  let stats = Datalog.saturate tc db in
+  (* a,b,c are all mutually reachable (and c->c): path = {a,b,c}^2. *)
+  let q = Cq.make ~name:"q" ~answer:[ v "X"; v "Y" ] ~body:[ atom "path" [ v "X"; v "Y" ] ] in
+  Alcotest.(check int) "full closure" 9 (List.length (Eval.cq db q));
+  Alcotest.(check int) "derived count" 9 stats.Datalog.derived;
+  Alcotest.(check bool) "several rounds" true (stats.Datalog.rounds >= 2)
+
+let test_datalog_rejects_existentials () =
+  let p =
+    Program.make_exn
+      [ Tgd.make ~name:"bad" ~body:[ atom "p" [ v "X" ] ] ~head:[ atom "q" [ v "X"; v "Z" ] ] ]
+  in
+  Alcotest.check_raises "existential rejected"
+    (Invalid_argument "Datalog.saturate: rule bad has existential head variables") (fun () ->
+      ignore (Datalog.saturate p (Instance.create ())))
+
+let test_datalog_idempotent () =
+  let db = sample_db () in
+  let p =
+    Program.make_exn
+      [ Tgd.make ~name:"copy" ~body:[ atom "edge" [ v "X"; v "Y" ] ] ~head:[ atom "e2" [ v "X"; v "Y" ] ] ]
+  in
+  let s1 = Datalog.saturate p db in
+  let s2 = Datalog.saturate p db in
+  Alcotest.(check int) "first run derives" 4 s1.Datalog.derived;
+  Alcotest.(check int) "second run derives nothing" 0 s2.Datalog.derived
+
+let test_datalog_constants_in_head () =
+  let db = Instance.of_atoms [ atom "p" [ c "x" ] ] in
+  let prog =
+    Program.make_exn
+      [ Tgd.make ~name:"tag" ~body:[ atom "p" [ v "X" ] ] ~head:[ atom "tagged" [ v "X"; c "yes" ] ] ]
+  in
+  ignore (Datalog.saturate prog db);
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "tagged" [ v "X"; c "yes" ] ] in
+  Alcotest.(check int) "head constant materialized" 1 (List.length (Eval.cq db q))
+
+(* ------------------------------------------------------------------ *)
+(* Csv_io *)
+
+let test_csv_load () =
+  let src = "edge,a,b\n# comment\n\nedge,b,c\ncolor,a,red\n" in
+  match Csv_io.load_string src with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+    Alcotest.(check int) "three facts" 3 (Instance.cardinality inst);
+    Alcotest.(check int) "two predicates" 2 (List.length (Instance.predicates inst))
+
+let test_csv_quoting () =
+  let src = "name,\"O'Hara, Ada\",\"says \"\"hi\"\"\"\n" in
+  match Csv_io.load_string src with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+    match Instance.facts inst with
+    | [ (_, t) ] ->
+      Alcotest.(check bool) "comma kept" true (Value.equal t.(0) (vc "O'Hara, Ada"));
+      Alcotest.(check bool) "escaped quote" true (Value.equal t.(1) (vc "says \"hi\""))
+    | _ -> Alcotest.fail "expected one fact")
+
+let test_csv_errors () =
+  (match Csv_io.load_string "p,\"unterminated\n" with
+  | Ok _ -> Alcotest.fail "unterminated quote accepted"
+  | Error msg -> Alcotest.(check bool) "line number" true (String.length msg > 0));
+  match Csv_io.load_string "p,a\np,a,b\n" with
+  | Ok _ -> Alcotest.fail "arity clash accepted"
+  | Error msg -> Alcotest.(check bool) "mentions line 2" true (String.length msg > 0)
+
+let test_csv_roundtrip () =
+  let inst = sample_db () in
+  match Csv_io.load_string (Csv_io.save_string inst) with
+  | Error e -> Alcotest.fail e
+  | Ok inst' ->
+    Alcotest.(check int) "same cardinality" (Instance.cardinality inst)
+      (Instance.cardinality inst');
+    Alcotest.(check string) "canonical text equal" (Csv_io.save_string inst)
+      (Csv_io.save_string inst')
+
+(* ------------------------------------------------------------------ *)
+(* Plan *)
+
+let test_plan_orders_constants_first () =
+  let db = sample_db () in
+  let q =
+    Cq.make ~name:"q" ~answer:[ v "X" ]
+      ~body:[ atom "edge" [ v "X"; v "Y" ]; atom "color" [ v "X"; c "red" ] ]
+  in
+  match Plan.choose db q with
+  | [ s1; s2 ] ->
+    Alcotest.(check string) "selective atom first" "color" (Symbol.name s1.Plan.atom.Atom.pred);
+    (match s1.Plan.access with
+    | Plan.Index_lookup 1 -> ()
+    | _ -> Alcotest.fail "expected an index probe on the constant column");
+    (match s2.Plan.access with
+    | Plan.Index_lookup 0 -> ()
+    | _ -> Alcotest.fail "expected an index probe on the join column")
+  | other -> Alcotest.fail (Printf.sprintf "expected 2 steps, got %d" (List.length other))
+
+let test_plan_scan_when_unbound () =
+  let db = sample_db () in
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "edge" [ v "X"; v "Y" ] ] in
+  match Plan.choose db q with
+  | [ s ] -> Alcotest.(check bool) "scan" true (s.Plan.access = Plan.Scan)
+  | _ -> Alcotest.fail "expected 1 step"
+
+let test_plan_explain_nonempty () =
+  let db = sample_db () in
+  let q =
+    Cq.make ~name:"q" ~answer:[ v "X" ]
+      ~body:[ atom "edge" [ v "X"; v "Y" ]; atom "edge" [ v "Y"; v "Z" ] ]
+  in
+  Alcotest.(check bool) "explanation text" true (String.length (Plan.explain db q) > 20)
+
+(* ------------------------------------------------------------------ *)
+(* Sql *)
+
+let test_sql_shape () =
+  let q =
+    Cq.make ~name:"q" ~answer:[ v "X" ]
+      ~body:[ atom "p" [ v "X"; v "Y" ]; atom "r" [ v "Y"; c "a" ] ]
+  in
+  let sql = Sql.of_cq q in
+  Alcotest.(check bool) "select" true (contains sql "SELECT DISTINCT t0.c1 AS a1");
+  Alcotest.(check bool) "from two tables" true (contains sql "p AS t0, r AS t1");
+  Alcotest.(check bool) "join condition" true (contains sql "t0.c2 = t1.c1");
+  Alcotest.(check bool) "constant condition" true (contains sql "t1.c2 = 'a'")
+
+let test_sql_boolean () =
+  let q = Cq.make ~name:"q" ~answer:[] ~body:[ atom "p" [ v "X" ] ] in
+  Alcotest.(check bool) "boolean selects 1" true (contains (Sql.of_cq q) "SELECT DISTINCT 1 AS sat")
+
+let test_sql_union () =
+  let q1 = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "p" [ v "X" ] ] in
+  let q2 = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "r" [ v "X" ] ] in
+  Alcotest.(check bool) "union" true (contains (Sql.of_ucq [ q1; q2 ]) "UNION");
+  Alcotest.check_raises "empty ucq" (Invalid_argument "Sql.of_ucq: empty UCQ") (fun () ->
+      ignore (Sql.of_ucq []))
+
+let test_sql_quote () =
+  Alcotest.(check string) "quote doubling" "'o''brien'" (Sql.quote "o'brien")
+
+let test_sql_repeated_var_same_atom () =
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "p" [ v "X"; v "X" ] ] in
+  Alcotest.(check bool) "self equality" true (contains (Sql.of_cq q) "t0.c1 = t0.c2")
+
+let () =
+  Alcotest.run "db"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "nulls" `Quick test_value_nulls;
+          Alcotest.test_case "of_term" `Quick test_value_of_term;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "insert" `Quick test_relation_insert;
+          Alcotest.test_case "lookup" `Quick test_relation_lookup;
+          Alcotest.test_case "index maintenance" `Quick test_relation_index_maintained;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "basics" `Quick test_instance_basics;
+          Alcotest.test_case "copy isolation" `Quick test_instance_copy_isolated;
+          Alcotest.test_case "of_atoms" `Quick test_instance_of_atoms;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "single atom" `Quick test_eval_single_atom;
+          Alcotest.test_case "join" `Quick test_eval_join;
+          Alcotest.test_case "constant selection" `Quick test_eval_constant_selection;
+          Alcotest.test_case "repeated variable" `Quick test_eval_repeated_var;
+          Alcotest.test_case "boolean queries" `Quick test_eval_boolean;
+          Alcotest.test_case "missing predicate" `Quick test_eval_missing_predicate;
+          Alcotest.test_case "cross product" `Quick test_eval_cross_product;
+          Alcotest.test_case "constant answer" `Quick test_eval_constant_answer;
+          Alcotest.test_case "ucq union dedup" `Quick test_eval_ucq_union_dedup;
+          Alcotest.test_case "forced bindings" `Quick test_eval_forced;
+        ] );
+      ( "datalog",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_datalog_transitive_closure;
+          Alcotest.test_case "rejects existentials" `Quick test_datalog_rejects_existentials;
+          Alcotest.test_case "idempotent" `Quick test_datalog_idempotent;
+          Alcotest.test_case "head constants" `Quick test_datalog_constants_in_head;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "load basic" `Quick test_csv_load;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "errors" `Quick test_csv_errors;
+          Alcotest.test_case "round trip" `Quick test_csv_roundtrip;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "constants first" `Quick test_plan_orders_constants_first;
+          Alcotest.test_case "scan when unbound" `Quick test_plan_scan_when_unbound;
+          Alcotest.test_case "explain" `Quick test_plan_explain_nonempty;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "shape" `Quick test_sql_shape;
+          Alcotest.test_case "boolean" `Quick test_sql_boolean;
+          Alcotest.test_case "union" `Quick test_sql_union;
+          Alcotest.test_case "quoting" `Quick test_sql_quote;
+          Alcotest.test_case "repeated var" `Quick test_sql_repeated_var_same_atom;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Unit tests for the graph substrate: SCC decomposition, label-constrained
+   cycle detection, simple-cycle enumeration, DOT export. *)
+
+module IG = Tgd_graph.Int_digraph
+
+let mk n edges = IG.make ~n ~edges:(Array.of_list edges)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Int_digraph *)
+
+let test_make_validates () =
+  Alcotest.check_raises "endpoint out of range"
+    (Invalid_argument "Int_digraph.make: endpoint out of range") (fun () ->
+      ignore (mk 2 [ (0, 5) ]))
+
+let test_scc_dag () =
+  (* 0 -> 1 -> 2: three singleton components. *)
+  let g = mk 3 [ (0, 1); (1, 2) ] in
+  let comp, n = IG.scc g in
+  Alcotest.(check int) "three components" 3 n;
+  Alcotest.(check bool) "all distinct" true (comp.(0) <> comp.(1) && comp.(1) <> comp.(2))
+
+let test_scc_cycle () =
+  (* 0 -> 1 -> 2 -> 0 plus a tail 2 -> 3. *)
+  let g = mk 4 [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  let comp, n = IG.scc g in
+  Alcotest.(check int) "two components" 2 n;
+  Alcotest.(check bool) "cycle together" true (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  Alcotest.(check bool) "tail separate" true (comp.(3) <> comp.(0))
+
+let test_scc_two_cycles () =
+  (* Two disjoint 2-cycles. *)
+  let g = mk 4 [ (0, 1); (1, 0); (2, 3); (3, 2) ] in
+  let _, n = IG.scc g in
+  Alcotest.(check int) "two components" 2 n
+
+let test_scc_reverse_topological () =
+  (* Tarjan emits components in reverse topological order: the sink
+     component gets the smaller id. *)
+  let g = mk 2 [ (0, 1) ] in
+  let comp, _ = IG.scc g in
+  Alcotest.(check bool) "sink first" true (comp.(1) < comp.(0))
+
+let test_scc_edge_filter () =
+  (* The cycle 0 <-> 1 disappears when edge 1 (1 -> 0) is filtered out. *)
+  let g = mk 2 [ (0, 1); (1, 0) ] in
+  let comp, n = IG.scc ~edge_ok:(fun e -> e <> 1) g in
+  Alcotest.(check int) "cycle broken" 2 n;
+  Alcotest.(check bool) "split" true (comp.(0) <> comp.(1))
+
+let test_scc_internal_edges () =
+  let g = mk 4 [ (0, 1); (1, 0); (1, 2); (2, 3) ] in
+  match IG.scc_internal_edges g with
+  | [ (_, edges) ] ->
+    Alcotest.(check (list int)) "the two cycle edges" [ 0; 1 ] (List.sort compare edges)
+  | other -> Alcotest.fail (Printf.sprintf "expected one cyclic component, got %d" (List.length other))
+
+let test_scc_self_loop () =
+  let g = mk 2 [ (0, 0); (0, 1) ] in
+  match IG.scc_internal_edges g with
+  | [ (_, [ 0 ]) ] -> ()
+  | _ -> Alcotest.fail "self loop should be the only internal edge"
+
+let test_simple_cycles_triangle () =
+  (* A directed triangle has exactly one simple cycle. *)
+  let g = mk 3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check int) "one cycle" 1 (List.length (IG.simple_cycles g))
+
+let test_simple_cycles_k3 () =
+  (* Complete digraph on 3 vertices: 3 two-cycles and 2 three-cycles. *)
+  let edges = [ (0, 1); (1, 0); (0, 2); (2, 0); (1, 2); (2, 1) ] in
+  let g = mk 3 edges in
+  Alcotest.(check int) "five cycles" 5 (List.length (IG.simple_cycles g))
+
+let test_simple_cycles_edge_identity () =
+  (* Parallel edges produce distinct cycles. *)
+  let g = mk 2 [ (0, 1); (0, 1); (1, 0) ] in
+  Alcotest.(check int) "two cycles through parallel edges" 2 (List.length (IG.simple_cycles g))
+
+let test_simple_cycles_valid () =
+  (* Every returned edge list is a closed chained walk over distinct
+     vertices. *)
+  let g = mk 4 [ (0, 1); (1, 2); (2, 0); (1, 3); (3, 1); (2, 2) ] in
+  let cycles = IG.simple_cycles g in
+  Alcotest.(check bool) "non-empty" true (cycles <> []);
+  List.iter
+    (fun cycle ->
+      let pairs = List.map (IG.edge g) cycle in
+      let srcs = List.map fst pairs in
+      (* each edge's destination is the next edge's source, cyclically *)
+      let rec chained = function
+        | (_, d) :: ((s, _) :: _ as rest) ->
+          Alcotest.(check int) "chained" s d;
+          chained rest
+        | [ (_, d) ] -> Alcotest.(check int) "closes" (List.hd srcs) d
+        | [] -> ()
+      in
+      chained pairs;
+      Alcotest.(check int) "distinct vertices" (List.length srcs)
+        (List.length (List.sort_uniq compare srcs)))
+    cycles
+
+let test_simple_cycles_limit () =
+  let edges = [ (0, 1); (1, 0); (0, 2); (2, 0); (1, 2); (2, 1) ] in
+  let g = mk 3 edges in
+  Alcotest.(check int) "limit respected" 2 (List.length (IG.simple_cycles ~limit:2 g))
+
+let test_reachable () =
+  let g = mk 4 [ (0, 1); (1, 2) ] in
+  let r = IG.reachable g 0 in
+  Alcotest.(check bool) "source" true r.(0);
+  Alcotest.(check bool) "transitive" true r.(2);
+  Alcotest.(check bool) "not backwards" false (IG.reachable g 2).(0)
+
+(* ------------------------------------------------------------------ *)
+(* Digraph functor *)
+
+module N = struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+  let pp = Format.pp_print_string
+end
+
+module L = struct
+  type t = string
+
+  let equal = String.equal
+  let pp = Format.pp_print_string
+end
+
+module G = Tgd_graph.Digraph.Make (N) (L)
+
+let test_digraph_dedup () =
+  let g = G.create () in
+  G.add_edge g "a" "x" "b";
+  G.add_edge g "a" "x" "b";
+  G.add_edge g "a" "y" "b";
+  Alcotest.(check int) "two nodes" 2 (G.n_nodes g);
+  Alcotest.(check int) "parallel labels kept, duplicates dropped" 2 (G.n_edges g)
+
+let test_digraph_nodes_in_insertion_order () =
+  let g = G.create () in
+  G.add_node g "z";
+  G.add_edge g "a" "l" "m";
+  Alcotest.(check (list string)) "order" [ "z"; "a"; "m" ] (G.nodes g)
+
+let test_digraph_succ () =
+  let g = G.create () in
+  G.add_edge g "a" "x" "b";
+  G.add_edge g "a" "y" "c";
+  G.add_edge g "b" "z" "c";
+  Alcotest.(check int) "two successors" 2 (List.length (G.succ g "a"));
+  Alcotest.(check int) "no successors" 0 (List.length (G.succ g "c"))
+
+let test_digraph_scc_labels () =
+  let g = G.create () in
+  G.add_edge g "a" "m" "b";
+  G.add_edge g "b" "s" "a";
+  G.add_edge g "b" "x" "c";
+  (match G.cyclic_scc_edge_labels g with
+  | [ labels ] ->
+    Alcotest.(check (list string)) "labels of cyclic component" [ "m"; "s" ]
+      (List.sort compare labels)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 cyclic scc, got %d" (List.length other)));
+  (* Filtering out the s-edge breaks the cycle. *)
+  Alcotest.(check int) "filter breaks the cycle" 0
+    (List.length (G.cyclic_scc_edge_labels_filtered ~keep:(fun l -> l <> "s") g))
+
+let test_digraph_simple_cycles () =
+  let g = G.create () in
+  G.add_edge g "a" "m" "b";
+  G.add_edge g "b" "s" "a";
+  match G.simple_cycles g with
+  | [ [ e1; e2 ] ] ->
+    Alcotest.(check (list string)) "labels along the cycle" [ "m"; "s" ]
+      (List.sort compare [ e1.G.label; e2.G.label ])
+  | _ -> Alcotest.fail "expected exactly one 2-cycle"
+
+let test_digraph_dot () =
+  let g = G.create () in
+  G.add_edge g "a" "lbl" "b";
+  let dot = G.to_dot ~name:"t" g in
+  Alcotest.(check bool) "mentions node label" true (contains dot "label=\"a\"");
+  Alcotest.(check bool) "mentions edge label" true (contains dot "label=\"lbl\"")
+
+let test_digraph_dot_escaping () =
+  let g = G.create () in
+  G.add_edge g "a\"b" "l" "c";
+  Alcotest.(check bool) "quotes escaped" true (contains (G.to_dot g) "a\\\"b")
+
+let test_digraph_empty () =
+  let g = G.create () in
+  Alcotest.(check int) "no nodes" 0 (G.n_nodes g);
+  Alcotest.(check int) "no cyclic sccs" 0 (List.length (G.cyclic_scc_edge_labels g));
+  Alcotest.(check bool) "dot of empty graph" true (String.length (G.to_dot g) > 0)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "int_digraph",
+        [
+          Alcotest.test_case "make validates" `Quick test_make_validates;
+          Alcotest.test_case "scc of dag" `Quick test_scc_dag;
+          Alcotest.test_case "scc of cycle" `Quick test_scc_cycle;
+          Alcotest.test_case "scc two cycles" `Quick test_scc_two_cycles;
+          Alcotest.test_case "scc reverse topological" `Quick test_scc_reverse_topological;
+          Alcotest.test_case "scc edge filter" `Quick test_scc_edge_filter;
+          Alcotest.test_case "scc internal edges" `Quick test_scc_internal_edges;
+          Alcotest.test_case "self loop" `Quick test_scc_self_loop;
+          Alcotest.test_case "triangle cycle" `Quick test_simple_cycles_triangle;
+          Alcotest.test_case "k3 cycles" `Quick test_simple_cycles_k3;
+          Alcotest.test_case "parallel edges" `Quick test_simple_cycles_edge_identity;
+          Alcotest.test_case "cycles are valid" `Quick test_simple_cycles_valid;
+          Alcotest.test_case "cycle limit" `Quick test_simple_cycles_limit;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+        ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "edge dedup" `Quick test_digraph_dedup;
+          Alcotest.test_case "node order" `Quick test_digraph_nodes_in_insertion_order;
+          Alcotest.test_case "succ" `Quick test_digraph_succ;
+          Alcotest.test_case "scc labels" `Quick test_digraph_scc_labels;
+          Alcotest.test_case "simple cycles" `Quick test_digraph_simple_cycles;
+          Alcotest.test_case "dot export" `Quick test_digraph_dot;
+          Alcotest.test_case "dot escaping" `Quick test_digraph_dot_escaping;
+          Alcotest.test_case "empty graph" `Quick test_digraph_empty;
+        ] );
+    ]

@@ -1,0 +1,356 @@
+(* Tests for the OBDA layer: mapping assertions, unfolding, negative
+   constraints, approximation, and the end-to-end system. *)
+
+open Tgd_logic
+open Tgd_db
+open Tgd_obda
+
+let v = Term.var
+let c = Term.const
+let atom p args = Atom.of_strings p args
+let tuples_equal l1 l2 = List.length l1 = List.length l2 && List.for_all2 Tuple.equal l1 l2
+
+(* A registrar source schema:
+     emp_record(id, dept, role)      role in {prof, lect}
+     enrollment(student, course)
+   mapped to the ontology vocabulary of the university ontology. *)
+let mappings =
+  [
+    Mapping.make ~name:"m_prof"
+      ~source:[ atom "emp_record" [ v "X"; v "D"; c "prof" ] ]
+      ~target:(atom "professor" [ v "X" ]);
+    Mapping.make ~name:"m_lect"
+      ~source:[ atom "emp_record" [ v "X"; v "D"; c "lect" ] ]
+      ~target:(atom "lecturer" [ v "X" ]);
+    Mapping.make ~name:"m_works"
+      ~source:[ atom "emp_record" [ v "X"; v "D"; v "R" ] ]
+      ~target:(atom "works_for" [ v "X"; v "D" ]);
+    Mapping.make ~name:"m_takes"
+      ~source:[ atom "enrollment" [ v "S"; v "C" ] ]
+      ~target:(atom "takes_course" [ v "S"; v "C" ]);
+    Mapping.make ~name:"m_student"
+      ~source:[ atom "enrollment" [ v "S"; v "C" ] ]
+      ~target:(atom "undergraduate" [ v "S" ]);
+  ]
+
+let source_db () =
+  Instance.of_atoms
+    [
+      atom "emp_record" [ c "ada"; c "cs"; c "prof" ];
+      atom "emp_record" [ c "bob"; c "math"; c "lect" ];
+      atom "emp_record" [ c "eve"; c "cs"; c "lect" ];
+      atom "enrollment" [ c "sam"; c "db101" ];
+      atom "enrollment" [ c "lee"; c "db101" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Mapping *)
+
+let test_mapping_validation () =
+  Alcotest.check_raises "unsafe mapping"
+    (Invalid_argument "Mapping.make: unsafe mapping (target variable not in source)") (fun () ->
+      ignore (Mapping.make ?name:None ~source:[ atom "t" [ v "X" ] ] ~target:(atom "p" [ v "Y" ])));
+  Alcotest.check_raises "empty source" (Invalid_argument "Mapping.make: empty source query")
+    (fun () -> ignore (Mapping.make ?name:None ~source:[] ~target:(atom "p" [ c "a" ])))
+
+let test_mapping_materialize () =
+  let abox = Mapping.materialize mappings (source_db ()) in
+  let count pred =
+    match Instance.relation abox (Symbol.intern pred) with
+    | None -> 0
+    | Some rel -> Relation.cardinality rel
+  in
+  Alcotest.(check int) "professors" 1 (count "professor");
+  Alcotest.(check int) "lecturers" 2 (count "lecturer");
+  Alcotest.(check int) "works_for" 3 (count "works_for");
+  Alcotest.(check int) "takes_course" 2 (count "takes_course");
+  Alcotest.(check int) "undergraduates" 2 (count "undergraduate")
+
+let test_mapping_for_pred () =
+  Alcotest.(check int) "one professor mapping" 1
+    (List.length (Mapping.for_pred mappings (Symbol.intern "professor")));
+  Alcotest.(check int) "none for person" 0
+    (List.length (Mapping.for_pred mappings (Symbol.intern "person")))
+
+(* ------------------------------------------------------------------ *)
+(* Unfold *)
+
+let test_unfold_single_atom () =
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "professor" [ v "X" ] ] in
+  match Unfold.cq mappings q with
+  | [ u ] ->
+    Alcotest.(check int) "source body" 1 (List.length u.Cq.body);
+    Alcotest.(check string) "source predicate" "emp_record"
+      (Symbol.name (List.hd u.Cq.body).Atom.pred)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 unfolding, got %d" (List.length other))
+
+let test_unfold_unmapped_atom_dies () =
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "person" [ v "X" ] ] in
+  Alcotest.(check int) "no unfolding" 0 (List.length (Unfold.cq mappings q))
+
+let test_unfold_join_threading () =
+  (* takes_course(X,C), takes_course(Y,C): the shared course variable must
+     link the two enrollment atoms. *)
+  let q =
+    Cq.make ~name:"q" ~answer:[ v "X"; v "Y" ]
+      ~body:[ atom "takes_course" [ v "X"; v "C" ]; atom "takes_course" [ v "Y"; v "C" ] ]
+  in
+  match Unfold.cq mappings q with
+  | [ u ] ->
+    let vars =
+      List.fold_left (fun acc a -> Symbol.Set.union acc (Atom.vars a)) Symbol.Set.empty u.Cq.body
+    in
+    (* two students + one shared course variable *)
+    Alcotest.(check int) "three variables" 3 (Symbol.Set.cardinal vars)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 unfolding, got %d" (List.length other))
+
+let test_unfold_equals_materialization () =
+  (* Evaluating the unfolded query on the source equals evaluating the
+     original query on the materialized ABox. *)
+  let src = source_db () in
+  let abox = Mapping.materialize mappings src in
+  let queries =
+    [
+      Cq.make ~name:"u1" ~answer:[ v "X" ] ~body:[ atom "lecturer" [ v "X" ] ];
+      Cq.make ~name:"u2" ~answer:[ v "X"; v "D" ] ~body:[ atom "works_for" [ v "X"; v "D" ] ];
+      Cq.make ~name:"u3" ~answer:[ v "S" ]
+        ~body:[ atom "undergraduate" [ v "S" ]; atom "takes_course" [ v "S"; v "C" ] ];
+    ]
+  in
+  List.iter
+    (fun q ->
+      let via_unfold = Eval.ucq src (Unfold.cq mappings q) in
+      let via_abox = Eval.cq abox q in
+      Alcotest.(check bool) (q.Cq.name ^ " agreement") true (tuples_equal via_unfold via_abox))
+    queries
+
+let test_unfold_multiple_choices () =
+  (* Two mappings target undergraduate-like predicates: a query over
+     [student] is not mapped, but a query over works_for has one mapping and
+     over lecturer one; a UCQ mixes them. *)
+  let u =
+    Unfold.ucq mappings
+      [
+        Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "lecturer" [ v "X" ] ];
+        Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "professor" [ v "X" ] ];
+      ]
+  in
+  Alcotest.(check int) "two disjuncts" 2 (List.length u)
+
+(* ------------------------------------------------------------------ *)
+(* Constraints *)
+
+let disjoint_student_faculty = Constraints.make ~name:"disj" [ atom "student" [ v "X" ]; atom "faculty" [ v "X" ] ]
+
+let test_constraints_consistent () =
+  let data =
+    Instance.of_atoms [ atom "undergraduate" [ c "sam" ]; atom "lecturer" [ c "ada" ] ]
+  in
+  let verdict =
+    Constraints.check Tgd_gen.University.ontology [ disjoint_student_faculty ] data
+  in
+  Alcotest.(check bool) "consistent" true verdict.Constraints.consistent;
+  Alcotest.(check bool) "complete" true verdict.Constraints.complete
+
+let test_constraints_violation_through_hierarchy () =
+  (* ada is both an undergraduate and a full professor; the violation is
+     only visible through the taxonomy (undergraduate -> student,
+     full_professor -> professor -> faculty): it requires rewriting the
+     constraint body. *)
+  let data =
+    Instance.of_atoms [ atom "undergraduate" [ c "ada" ]; atom "full_professor" [ c "ada" ] ]
+  in
+  let verdict =
+    Constraints.check Tgd_gen.University.ontology [ disjoint_student_faculty ] data
+  in
+  Alcotest.(check bool) "inconsistent" false verdict.Constraints.consistent;
+  Alcotest.(check bool) "names the constraint" true
+    (List.exists
+       (fun viol -> viol.Constraints.constraint_.Constraints.name = "disj")
+       verdict.Constraints.violations)
+
+let test_constraints_empty_body_rejected () =
+  Alcotest.check_raises "empty body" (Invalid_argument "Constraints.make: empty body") (fun () ->
+      ignore (Constraints.make []))
+
+(* ------------------------------------------------------------------ *)
+(* Approximation *)
+
+let test_wr_subset_identity_on_wr () =
+  let p, removed = Approximation.wr_subset Tgd_core.Paper_examples.example3 in
+  Alcotest.(check int) "nothing removed" 0 (List.length removed);
+  Alcotest.(check int) "same size" 3 (Program.size p)
+
+let test_wr_subset_on_example2 () =
+  let p, removed = Approximation.wr_subset Tgd_core.Paper_examples.example2 in
+  Alcotest.(check bool) "some rule removed" true (removed <> []);
+  Alcotest.(check bool) "subset is wr" true (Tgd_core.Wr.check p).Tgd_core.Wr.wr
+
+let test_datalog_relaxation_shape () =
+  let relaxed = Approximation.datalog_relaxation Tgd_core.Paper_examples.example2 in
+  List.iter
+    (fun (r : Tgd.t) ->
+      Alcotest.(check int) "no existential heads" 0
+        (Symbol.Set.cardinal (Tgd.existential_head_vars r)))
+    (Program.tgds relaxed)
+
+let test_interval_brackets_example2 () =
+  let p = Tgd_core.Paper_examples.example2 in
+  let inst =
+    Instance.of_atoms
+      [
+        atom "t" [ c "a"; c "b" ];
+        atom "r" [ c "u"; c "w" ];
+        atom "s" [ c "k"; c "k"; c "b" ];
+      ]
+  in
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "r" [ v "X"; v "Y" ] ] in
+  let itv = Approximation.interval_answers p inst q in
+  (* lower must be a subset of upper *)
+  Alcotest.(check bool) "lower <= upper" true
+    (List.for_all (fun t -> List.exists (Tuple.equal t) itv.Approximation.upper)
+       itv.Approximation.lower);
+  (* reference: bounded chase answers sit between lower and upper *)
+  let reference = Tgd_chase.Certain.cq ~max_rounds:20 p inst q in
+  Alcotest.(check bool) "lower <= chase" true
+    (List.for_all
+       (fun t -> List.exists (Tuple.equal t) reference.Tgd_chase.Certain.answers)
+       itv.Approximation.lower);
+  Alcotest.(check bool) "chase <= upper" true
+    (List.for_all
+       (fun t -> List.exists (Tuple.equal t) itv.Approximation.upper)
+       reference.Tgd_chase.Certain.answers)
+
+let test_interval_exact_when_datalog () =
+  (* On a plain Datalog program both bounds coincide with the exact
+     answers. *)
+  let p =
+    Program.make_exn
+      [
+        Tgd.make ~name:"r1" ~body:[ atom "e" [ v "X"; v "Y" ] ] ~head:[ atom "p" [ v "X"; v "Y" ] ];
+      ]
+  in
+  let inst = Instance.of_atoms [ atom "e" [ c "a"; c "b" ] ] in
+  let q = Cq.make ~name:"q" ~answer:[ v "X"; v "Y" ] ~body:[ atom "p" [ v "X"; v "Y" ] ] in
+  let itv = Approximation.interval_answers p inst q in
+  Alcotest.(check bool) "exact" true itv.Approximation.exact;
+  Alcotest.(check int) "one answer" 1 (List.length itv.Approximation.lower)
+
+(* ------------------------------------------------------------------ *)
+(* Obda_system *)
+
+let system () =
+  Obda_system.make ~ontology:Tgd_gen.University.ontology ~mappings
+    ~constraints:[ disjoint_student_faculty ] ()
+
+let test_system_answer_vs_materialized () =
+  let sys = system () in
+  let src = source_db () in
+  let queries =
+    [
+      Cq.make ~name:"persons" ~answer:[ v "X" ] ~body:[ atom "person" [ v "X" ] ];
+      Cq.make ~name:"faculty" ~answer:[ v "X" ] ~body:[ atom "faculty" [ v "X" ] ];
+      Cq.make ~name:"works" ~answer:[ v "X"; v "D" ] ~body:[ atom "works_for" [ v "X"; v "D" ] ];
+      Cq.make ~name:"org" ~answer:[] ~body:[ atom "organization" [ v "O" ] ];
+    ]
+  in
+  List.iter
+    (fun q ->
+      let virt = Obda_system.answer sys ~source:src q in
+      let materialized, exact = Obda_system.answer_materialized sys ~source:src q in
+      Alcotest.(check bool) (q.Cq.name ^ ": rewriting complete") true virt.Obda_system.rewriting_complete;
+      Alcotest.(check bool) (q.Cq.name ^ ": chase exact") true exact;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: virtual (%d) = materialized (%d)" q.Cq.name
+           (List.length virt.Obda_system.tuples) (List.length materialized))
+        true
+        (tuples_equal virt.Obda_system.tuples materialized))
+    queries
+
+let test_system_answers_content () =
+  let sys = system () in
+  let src = source_db () in
+  let q = Cq.make ~name:"persons" ~answer:[ v "X" ] ~body:[ atom "person" [ v "X" ] ] in
+  let a = Obda_system.answer sys ~source:src q in
+  (* ada, bob, eve (employees) + sam, lee (students) *)
+  Alcotest.(check int) "five persons" 5 (List.length a.Obda_system.tuples);
+  Alcotest.(check bool) "has sql" true (a.Obda_system.sql <> None)
+
+let test_system_sql_over_source_schema () =
+  let sys = system () in
+  let src = source_db () in
+  let q = Cq.make ~name:"f" ~answer:[ v "X" ] ~body:[ atom "faculty" [ v "X" ] ] in
+  let a = Obda_system.answer sys ~source:src q in
+  List.iter
+    (fun (d : Cq.t) ->
+      List.iter
+        (fun (at : Atom.t) ->
+          let name = Symbol.name at.Atom.pred in
+          Alcotest.(check bool) ("source predicate " ^ name) true
+            (name = "emp_record" || name = "enrollment"))
+        d.Cq.body)
+    a.Obda_system.source_ucq
+
+let test_system_consistency () =
+  let sys = system () in
+  let ok = Obda_system.consistent sys ~source:(source_db ()) in
+  Alcotest.(check bool) "clean registrar is consistent" true ok.Constraints.consistent;
+  (* Add a lecturer who is also enrolled: inconsistent through mappings and
+     the taxonomy. *)
+  let bad = source_db () in
+  ignore
+    (Instance.add_fact bad (Symbol.intern "enrollment")
+       [| Value.const "eve"; Value.const "db101" |]);
+  let verdict = Obda_system.consistent sys ~source:bad in
+  Alcotest.(check bool) "moonlighting lecturer detected" false verdict.Constraints.consistent
+
+let test_system_without_mappings () =
+  (* Identity behaviour: no mappings means the source speaks the ontology
+     schema already. *)
+  let sys = Obda_system.make ~ontology:Tgd_gen.University.ontology () in
+  let data = Instance.of_atoms [ atom "undergraduate" [ c "sam" ] ] in
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "person" [ v "X" ] ] in
+  let a = Obda_system.answer sys ~source:data q in
+  Alcotest.(check int) "sam is a person" 1 (List.length a.Obda_system.tuples)
+
+let () =
+  Alcotest.run "obda"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "validation" `Quick test_mapping_validation;
+          Alcotest.test_case "materialize" `Quick test_mapping_materialize;
+          Alcotest.test_case "for_pred" `Quick test_mapping_for_pred;
+        ] );
+      ( "unfold",
+        [
+          Alcotest.test_case "single atom" `Quick test_unfold_single_atom;
+          Alcotest.test_case "unmapped atom" `Quick test_unfold_unmapped_atom_dies;
+          Alcotest.test_case "join threading" `Quick test_unfold_join_threading;
+          Alcotest.test_case "equals materialization" `Quick test_unfold_equals_materialization;
+          Alcotest.test_case "multiple choices" `Quick test_unfold_multiple_choices;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "consistent data" `Quick test_constraints_consistent;
+          Alcotest.test_case "violation through hierarchy" `Quick
+            test_constraints_violation_through_hierarchy;
+          Alcotest.test_case "empty body rejected" `Quick test_constraints_empty_body_rejected;
+        ] );
+      ( "approximation",
+        [
+          Alcotest.test_case "identity on wr" `Quick test_wr_subset_identity_on_wr;
+          Alcotest.test_case "subset of example2" `Quick test_wr_subset_on_example2;
+          Alcotest.test_case "relaxation is datalog" `Quick test_datalog_relaxation_shape;
+          Alcotest.test_case "interval brackets" `Quick test_interval_brackets_example2;
+          Alcotest.test_case "exact on datalog" `Quick test_interval_exact_when_datalog;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "virtual = materialized" `Quick test_system_answer_vs_materialized;
+          Alcotest.test_case "answer content" `Quick test_system_answers_content;
+          Alcotest.test_case "sql over source schema" `Quick test_system_sql_over_source_schema;
+          Alcotest.test_case "consistency end-to-end" `Quick test_system_consistency;
+          Alcotest.test_case "no mappings" `Quick test_system_without_mappings;
+        ] );
+    ]

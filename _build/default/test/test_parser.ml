@@ -1,0 +1,212 @@
+(* Unit tests for the lexer, parser, and printer (round-tripping). *)
+
+open Tgd_logic
+module P = Tgd_parser.Parser
+
+let parse_ok src =
+  match P.parse_string src with
+  | Ok doc -> doc
+  | Error e -> Alcotest.fail (Format.asprintf "unexpected parse error: %a" P.pp_error e)
+
+let parse_err src =
+  match P.parse_string src with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+(* ------------------------------------------------------------------ *)
+
+let test_parse_rule () =
+  let doc = parse_ok "[R1] s(Y1,Y2,Y3), t(Y4) -> r(Y1,Y3)." in
+  match doc.P.rules with
+  | [ r ] ->
+    Alcotest.(check string) "name" "R1" r.Tgd.name;
+    Alcotest.(check int) "body atoms" 2 (List.length r.Tgd.body);
+    Alcotest.(check int) "head atoms" 1 (List.length r.Tgd.head)
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_parse_anonymous_rule () =
+  let doc = parse_ok "p(X) -> q(X, Z)." in
+  match doc.P.rules with
+  | [ r ] -> Alcotest.(check bool) "generated name" true (String.length r.Tgd.name > 0)
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_parse_multi_head () =
+  let doc = parse_ok "emp(X) -> works(X, D), dept(D)." in
+  match doc.P.rules with
+  | [ r ] -> Alcotest.(check int) "two head atoms" 2 (List.length r.Tgd.head)
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_parse_fact () =
+  let doc = parse_ok "edge(a, b). flag." in
+  Alcotest.(check int) "two facts" 2 (List.length doc.P.facts);
+  Alcotest.(check int) "no rules" 0 (List.length doc.P.rules)
+
+let test_parse_non_ground_fact_rejected () =
+  let e = parse_err "edge(a, X)." in
+  Alcotest.(check bool) "message mentions ground" true
+    (String.length e.P.message > 0)
+
+let test_parse_query () =
+  let doc = parse_ok "q(X, Y) :- edge(X, Z), edge(Z, Y)." in
+  match doc.P.queries with
+  | [ q ] ->
+    Alcotest.(check string) "name" "q" q.Cq.name;
+    Alcotest.(check int) "arity" 2 (Cq.arity q);
+    Alcotest.(check int) "body" 2 (List.length q.Cq.body)
+  | _ -> Alcotest.fail "expected one query"
+
+let test_parse_boolean_query () =
+  let doc = parse_ok "q() :- edge(X, Y)." in
+  match doc.P.queries with
+  | [ q ] -> Alcotest.(check bool) "boolean" true (Cq.is_boolean q)
+  | _ -> Alcotest.fail "expected one query"
+
+let test_parse_unsafe_query_rejected () =
+  let e = parse_err "q(X, W) :- edge(X, Y)." in
+  Alcotest.(check bool) "unsafe reported" true (String.length e.P.message > 0)
+
+let test_parse_quoted_and_comments () =
+  let doc =
+    parse_ok
+      {|
+        % a comment
+        name("Alan Turing", alan).  # trailing comment
+        p("with \"escape\"").
+      |}
+  in
+  Alcotest.(check int) "two facts" 2 (List.length doc.P.facts);
+  match doc.P.facts with
+  | [ f1; f2 ] ->
+    Alcotest.(check string) "quoted constant" "Alan Turing"
+      (match f1.Atom.args.(0) with Term.Const c -> Symbol.name c | Term.Var _ -> "?");
+    Alcotest.(check string) "escape" "with \"escape\""
+      (match f2.Atom.args.(0) with Term.Const c -> Symbol.name c | Term.Var _ -> "?")
+  | _ -> Alcotest.fail "expected two facts"
+
+let test_parse_underscore_vars () =
+  let doc = parse_ok "p(_x, Y) -> q(Y)." in
+  match doc.P.rules with
+  | [ r ] -> Alcotest.(check int) "underscore is a variable" 2 (Symbol.Set.cardinal (Tgd.body_vars r))
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_parse_error_position () =
+  let e = parse_err "p(a).\nq(b) ->" in
+  Alcotest.(check int) "error on line 2" 2 e.P.line
+
+let test_parse_numbers_as_constants () =
+  let doc = parse_ok "age(alan, 41)." in
+  match doc.P.facts with
+  | [ f ] ->
+    Alcotest.(check bool) "number is a constant" true (Term.is_const f.Atom.args.(1))
+  | _ -> Alcotest.fail "expected one fact"
+
+let test_parse_constraint () =
+  let doc = parse_ok "[disj] student(X), faculty(X) -> falsum." in
+  Alcotest.(check int) "no rules" 0 (List.length doc.P.rules);
+  (match doc.P.constraints with
+  | [ (name, body) ] ->
+    Alcotest.(check string) "name" "disj" name;
+    Alcotest.(check int) "body atoms" 2 (List.length body)
+  | _ -> Alcotest.fail "expected one constraint");
+  (* Anonymous constraints work too. *)
+  let doc2 = parse_ok "p(X), q(X) -> falsum." in
+  Alcotest.(check int) "anonymous constraint" 1 (List.length doc2.P.constraints)
+
+let test_constraint_roundtrip () =
+  let doc = parse_ok "[disj] student(X), faculty(X) -> falsum." in
+  let text = Format.asprintf "%a" Tgd_parser.Printer.document doc in
+  let doc' = parse_ok text in
+  Alcotest.(check int) "round-trips" 1 (List.length doc'.P.constraints)
+
+let test_falsum_with_args_is_a_rule () =
+  (* Only the 0-ary [falsum] is reserved; falsum(X) is an ordinary head. *)
+  let doc = parse_ok "p(X) -> falsum(X)." in
+  Alcotest.(check int) "ordinary rule" 1 (List.length doc.P.rules);
+  Alcotest.(check int) "no constraint" 0 (List.length doc.P.constraints)
+
+let test_program_of_document () =
+  let doc = parse_ok "p(X) -> q(X). p(a). q2(Y) :- q(Y)." in
+  match P.program_of_document doc with
+  | Ok p -> Alcotest.(check int) "one rule" 1 (Program.size p)
+  | Error e -> Alcotest.fail e
+
+let test_program_of_document_arity_clash () =
+  let doc = parse_ok "p(X) -> q(X). p(a, b)." in
+  match P.program_of_document doc with
+  | Ok _ -> Alcotest.fail "arity clash across rule and fact accepted"
+  | Error _ -> ()
+
+let test_roundtrip_paper_examples () =
+  List.iter
+    (fun p ->
+      let text = Tgd_parser.Printer.program_to_string p in
+      let doc = parse_ok text in
+      match P.program_of_document ~name:p.Program.name doc with
+      | Error e -> Alcotest.fail e
+      | Ok p' ->
+        Alcotest.(check int) "same rule count" (Program.size p) (Program.size p');
+        List.iter2
+          (fun (r : Tgd.t) (r' : Tgd.t) ->
+            Alcotest.(check string) "same rendering" (Tgd.to_string r) (Tgd.to_string r'))
+          (Program.tgds p) (Program.tgds p'))
+    [
+      Tgd_core.Paper_examples.example1;
+      Tgd_core.Paper_examples.example2;
+      Tgd_core.Paper_examples.example3;
+      Tgd_gen.University.ontology;
+    ]
+
+let test_roundtrip_queries () =
+  let q =
+    Cq.make ~name:"q" ~answer:[ Term.var "X" ]
+      ~body:[ Atom.of_strings "p" [ Term.var "X"; Term.const "a" ] ]
+  in
+  let text = Format.asprintf "%a" Tgd_parser.Printer.query q in
+  let doc = parse_ok text in
+  match doc.P.queries with
+  | [ q' ] -> Alcotest.(check string) "round-trips" (Cq.to_string q) (Cq.to_string q')
+  | _ -> Alcotest.fail "expected one query"
+
+let test_lexer_error_char () =
+  let e = parse_err "p(a) & q(b)." in
+  Alcotest.(check bool) "unexpected char reported" true (String.length e.P.message > 0)
+
+let test_empty_input () =
+  let doc = parse_ok "  % nothing here\n" in
+  Alcotest.(check int) "no items" 0
+    (List.length doc.P.rules + List.length doc.P.facts + List.length doc.P.queries)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "named rule" `Quick test_parse_rule;
+          Alcotest.test_case "anonymous rule" `Quick test_parse_anonymous_rule;
+          Alcotest.test_case "multi-head rule" `Quick test_parse_multi_head;
+          Alcotest.test_case "facts" `Quick test_parse_fact;
+          Alcotest.test_case "non-ground fact rejected" `Quick test_parse_non_ground_fact_rejected;
+          Alcotest.test_case "query" `Quick test_parse_query;
+          Alcotest.test_case "boolean query" `Quick test_parse_boolean_query;
+          Alcotest.test_case "unsafe query rejected" `Quick test_parse_unsafe_query_rejected;
+          Alcotest.test_case "quoted constants and comments" `Quick test_parse_quoted_and_comments;
+          Alcotest.test_case "underscore variables" `Quick test_parse_underscore_vars;
+          Alcotest.test_case "error position" `Quick test_parse_error_position;
+          Alcotest.test_case "numbers" `Quick test_parse_numbers_as_constants;
+          Alcotest.test_case "lexer error" `Quick test_lexer_error_char;
+          Alcotest.test_case "empty input" `Quick test_empty_input;
+          Alcotest.test_case "negative constraints" `Quick test_parse_constraint;
+          Alcotest.test_case "constraint roundtrip" `Quick test_constraint_roundtrip;
+          Alcotest.test_case "falsum with args is a rule" `Quick test_falsum_with_args_is_a_rule;
+        ] );
+      ( "document",
+        [
+          Alcotest.test_case "program_of_document" `Quick test_program_of_document;
+          Alcotest.test_case "cross-item arity clash" `Quick test_program_of_document_arity_clash;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "paper examples" `Quick test_roundtrip_paper_examples;
+          Alcotest.test_case "queries" `Quick test_roundtrip_queries;
+        ] );
+    ]
