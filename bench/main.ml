@@ -522,6 +522,152 @@ let e13 () =
   check "witness: SWR" ~expected:"no" ~got:(if r2.Tgd_core.Classifier.swr then "yes" else "no")
 
 (* ------------------------------------------------------------------ *)
+(* E14: the containment engine trajectory — rewriting workloads timed,  *)
+(* filter hit rates recorded, and everything dumped to                  *)
+(* BENCH_rewrite.json so later PRs can diff against this one.           *)
+
+(* A deep concept hierarchy a0 ⊑ a1 ⊑ ... ⊑ a_depth: the atomic query on
+   the top concept rewrites into depth+1 single-atom disjuncts over
+   pairwise-distinct predicates, so every kept-set subsumption check is
+   decidable by the fingerprint pre-filter alone. *)
+let deep_hierarchy ~depth =
+  Program.make_exn ~name:"deep"
+    (List.init depth (fun i ->
+         Tgd.make ~name:(Printf.sprintf "h%d" i)
+           ~body:[ Atom.of_strings (Printf.sprintf "a%d" i) [ Term.var "X" ] ]
+           ~head:[ Atom.of_strings (Printf.sprintf "a%d" (i + 1)) [ Term.var "X" ] ]))
+
+type rewrite_sample = {
+  rw_name : string;
+  rw_ms : float;
+  rw_stats : Tgd_rewrite.Rewrite.stats;
+  rw_outcome : string;
+}
+
+let bench_rewrite_workloads () =
+  let open Tgd_rewrite in
+  let v = Term.var in
+  let atomic p pred =
+    let arity = Option.get (Program.arity_of p (Symbol.intern pred)) in
+    let vars = List.init arity (fun i -> v (Printf.sprintf "X%d" i)) in
+    Cq.make ~name:"q" ~answer:vars ~body:[ Atom.make (Symbol.intern pred) vars ]
+  in
+  let dlite40 =
+    let rng = Tgd_gen.Rng.create 555 in
+    Tgd_gen.Dl_lite.to_program (Tgd_gen.Dl_lite.random_tbox rng ~n_concepts:20 ~n_roles:10 ~n_axioms:40)
+  in
+  let deep300 = deep_hierarchy ~depth:300 in
+  let chain120 = Tgd_gen.Gen_tgd.chain ?name:None ~depth:120 in
+  let e2_config = { Rewrite.default_config with max_cqs = 400 } in
+  let workloads =
+    [
+      ( "e2-budget-400",
+        fun () ->
+          Rewrite.ucq ~config:e2_config Tgd_core.Paper_examples.example2
+            Tgd_core.Paper_examples.example2_query );
+      ( "university-union",
+        fun () -> Rewrite.ucq_of_union Tgd_gen.University.ontology Tgd_gen.University.queries );
+      ("dl-lite-40-atomic", fun () -> Rewrite.ucq dlite40 (atomic dlite40 "a0"));
+      ("deep-hierarchy-300", fun () -> Rewrite.ucq deep300 (atomic deep300 "a300"));
+      ( "deep-role-chain-120",
+        fun () ->
+          Rewrite.ucq chain120
+            (Cq.make ~name:"q" ~answer:[ v "X" ]
+               ~body:[ Atom.of_strings "r120" [ v "X"; v "Y" ] ]) );
+    ]
+  in
+  List.map
+    (fun (name, run) ->
+      Containment.reset_stats ();
+      let r = ref (run ()) in
+      let ms = time_median ~k:3 (fun () -> r := run ()) *. 1000. in
+      let per_run = Containment.stats () in
+      (* time_median ran it 3 more times: report per-run counter deltas. *)
+      ignore per_run;
+      {
+        rw_name = name;
+        rw_ms = ms;
+        rw_stats = !r.Rewrite.stats;
+        rw_outcome =
+          (match !r.Rewrite.outcome with
+          | Rewrite.Complete -> "complete"
+          | Rewrite.Truncated why -> "truncated: " ^ why);
+      })
+    workloads
+
+let e14 () =
+  section "E14 (engine): rewriting trajectory + containment filter hit rates";
+  let samples = bench_rewrite_workloads () in
+  row "  %-22s %10s %9s %6s %9s %9s %9s %10s\n" "workload" "t_rewrite" "generated" "kept"
+    "cont.chk" "pruned" "hom.srch" "CQs/sec";
+  List.iter
+    (fun s ->
+      let st = s.rw_stats in
+      row "  %-22s %8.2fms %9d %6d %9d %9d %9d %10.0f\n" s.rw_name s.rw_ms
+        st.Tgd_rewrite.Rewrite.generated st.Tgd_rewrite.Rewrite.kept
+        st.Tgd_rewrite.Rewrite.containment_checks st.Tgd_rewrite.Rewrite.containment_pruned
+        st.Tgd_rewrite.Rewrite.hom_searches
+        (float_of_int st.Tgd_rewrite.Rewrite.generated /. (s.rw_ms /. 1000.)))
+    samples;
+  (* The deep hierarchy is the structural witness for the pruning claim:
+     distinct predicates everywhere, so the filter must decide (almost)
+     every check without a homomorphism search. *)
+  let deep = List.find (fun s -> s.rw_name = "deep-hierarchy-300") samples in
+  let st = deep.rw_stats in
+  let ratio =
+    float_of_int st.Tgd_rewrite.Rewrite.containment_checks
+    /. float_of_int (max 1 st.Tgd_rewrite.Rewrite.hom_searches)
+  in
+  check "deep hierarchy: >= 5x fewer hom searches than checks" ~expected:"yes"
+    ~got:(if ratio >= 5.0 then "yes" else "no");
+  (* Ablation: minimizing the deep-hierarchy UCQ with the filtered+cached
+     parallel engine vs the seed reference sweep. *)
+  let deep300 = deep_hierarchy ~depth:300 in
+  let q =
+    Cq.make ~name:"q" ~answer:[ Term.var "X" ]
+      ~body:[ Atom.of_strings "a300" [ Term.var "X" ] ]
+  in
+  let ucq = (Tgd_rewrite.Rewrite.ucq deep300 q).Tgd_rewrite.Rewrite.ucq in
+  let t_engine = time_median ~k:3 (fun () -> ignore (Containment.minimize_ucq ucq)) *. 1000. in
+  let t_reference =
+    time_median ~k:3 (fun () -> ignore (Containment.minimize_ucq_reference ucq)) *. 1000.
+  in
+  let speedup = t_reference /. t_engine in
+  row "  minimize_ucq on %d disjuncts: engine %.2fms, reference %.2fms (%.1fx)\n"
+    (List.length ucq) t_engine t_reference speedup;
+  check "minimize_ucq >= 2x faster than the reference sweep" ~expected:"yes"
+    ~got:(if speedup >= 2.0 then "yes" else "no");
+  (* Trajectory file for regression tracking across PRs. *)
+  let oc = open_out "BENCH_rewrite.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": \"bench_rewrite/v1\",\n";
+  out "  \"domains\": %d,\n" (Parallel.domain_count ());
+  out "  \"workloads\": [\n";
+  List.iteri
+    (fun i s ->
+      let st = s.rw_stats in
+      out
+        "    {\"name\": %S, \"wall_ms\": %.3f, \"outcome\": %S, \"generated\": %d, \"explored\": \
+         %d, \"kept\": %d, \"max_depth\": %d, \"cqs_per_sec\": %.1f, \"containment_checks\": %d, \
+         \"containment_pruned\": %d, \"hom_searches\": %d}%s\n"
+        s.rw_name s.rw_ms s.rw_outcome st.Tgd_rewrite.Rewrite.generated
+        st.Tgd_rewrite.Rewrite.explored st.Tgd_rewrite.Rewrite.kept
+        st.Tgd_rewrite.Rewrite.max_depth
+        (float_of_int st.Tgd_rewrite.Rewrite.generated /. (s.rw_ms /. 1000.))
+        st.Tgd_rewrite.Rewrite.containment_checks st.Tgd_rewrite.Rewrite.containment_pruned
+        st.Tgd_rewrite.Rewrite.hom_searches
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  out "  ],\n";
+  out
+    "  \"minimize_deep_hierarchy\": {\"disjuncts\": %d, \"engine_ms\": %.3f, \"reference_ms\": \
+     %.3f, \"speedup\": %.2f}\n"
+    (List.length ucq) t_engine t_reference speedup;
+  out "}\n";
+  close_out oc;
+  row "  wrote BENCH_rewrite.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
@@ -577,6 +723,25 @@ let bechamel_groups () =
                let copy = Tgd_db.Instance.copy uni_data in
                Tgd_chase.Chase.run uni copy));
       ];
+    (let deep = deep_hierarchy ~depth:120 in
+     let qd =
+       Cq.make ~name:"q" ~answer:[ Term.var "X" ]
+         ~body:[ Atom.of_strings "a120" [ Term.var "X" ] ]
+     in
+     let deep_ucq = (Tgd_rewrite.Rewrite.ucq deep qd).Tgd_rewrite.Rewrite.ucq in
+     let d1 = List.hd deep_ucq and d2 = List.hd (List.rev deep_ucq) in
+     let p1 = Containment.precompute d1 and p2 = Containment.precompute d2 in
+     Test.make_grouped ~name:"E14-containment"
+       [
+         Test.make ~name:"contained-filtered" (stage (fun () -> Containment.contained d1 d2));
+         Test.make ~name:"contained-pre" (stage (fun () -> Containment.contained_pre p1 p2));
+         Test.make ~name:"contained-reference"
+           (stage (fun () -> Containment.contained_reference d1 d2));
+         Test.make ~name:"minimize-deep-120"
+           (stage (fun () -> Containment.minimize_ucq deep_ucq));
+         Test.make ~name:"minimize-deep-120-reference"
+           (stage (fun () -> Containment.minimize_ucq_reference deep_ucq));
+       ]);
     Test.make_grouped ~name:"substrate"
       [
         Test.make ~name:"parse-university" (stage (fun () -> Tgd_parser.Parser.parse_string parse_src));
@@ -620,5 +785,6 @@ let () =
   e11 ();
   e12 ();
   e13 ();
+  e14 ();
   if not quick then run_bechamel ();
   Printf.printf "\nAll experiments done.\n"

@@ -53,8 +53,9 @@ let candidates inst env (a : Atom.t) =
 
 let bindings ?(init = Symbol.Map.empty) ?forced inst atoms k =
   (* Tag atoms with their position so the forced atom can be recognised
-     after reordering. *)
-  let tagged = List.mapi (fun i a -> (i, a)) atoms in
+     after reordering, and with their relation's cardinality so the
+     per-step selection does not re-query the instance. *)
+  let tagged = List.mapi (fun i a -> (i, a, relation_size inst a)) atoms in
   let forced_index, forced_tuples =
     match forced with Some (i, ts) -> (i, ts) | None -> (-1, [])
   in
@@ -64,9 +65,9 @@ let bindings ?(init = Symbol.Map.empty) ?forced inst atoms k =
     | _ ->
       (* Adaptive greedy choice: forced atom first, then most bound
          positions, then smaller relation. *)
-      let score (i, a) =
+      let score (i, a, size) =
         if i = forced_index then (max_int, 0)
-        else (count_bound env a, -relation_size inst a)
+        else (count_bound env a, -size)
       in
       let best =
         List.fold_left
@@ -78,9 +79,8 @@ let bindings ?(init = Symbol.Map.empty) ?forced inst atoms k =
       in
       (match best with
       | None -> assert false
-      | Some ((i, a) as chosen) ->
-        let rest = List.filter (fun (j, _) -> j <> i) remaining in
-        ignore chosen;
+      | Some (i, a, _) ->
+        let rest = List.filter (fun (j, _, _) -> j <> i) remaining in
         let tuples = if i = forced_index then forced_tuples else candidates inst env a in
         List.iter
           (fun t -> match match_tuple env a t with None -> () | Some env' -> go env' rest)

@@ -1,4 +1,10 @@
-(** Conjunctive-query containment via the homomorphism theorem. *)
+(** Conjunctive-query containment via the homomorphism theorem.
+
+    Every check runs through sound pre-filters first (arity, then the
+    predicate/constant {!Fingerprint} of the would-be homomorphism source
+    must map into the target's): a filtered-out pair is decided in O(1)
+    without building a target index or searching. Hot paths precompute a
+    {!pre} per CQ so the frozen target and fingerprint are built once. *)
 
 val contained : Cq.t -> Cq.t -> bool
 (** [contained q1 q2] holds iff [q1 <= q2], i.e. on every database the
@@ -7,13 +13,57 @@ val contained : Cq.t -> Cq.t -> bool
     answer tuple of [q2] onto the answer tuple of [q1]. Queries of different
     arities are never contained. *)
 
+val contained_reference : Cq.t -> Cq.t -> bool
+(** The unfiltered, uncached, uncounted implementation (the original seed
+    code path), kept as the semantic reference for property tests and
+    ablation benchmarks. Agrees with {!contained} on every input. *)
+
 val equivalent : Cq.t -> Cq.t -> bool
 
 val ucq_contained : Cq.ucq -> Cq.ucq -> bool
 (** [ucq_contained u1 u2]: every disjunct of [u1] is contained in some
     disjunct of [u2]. (Sound and complete for UCQ containment.) *)
 
-val minimize_ucq : Cq.ucq -> Cq.ucq
+(** {1 Precomputed containment state} *)
+
+type pre
+(** A CQ together with its fingerprint and frozen homomorphism target, built
+    once and reused across many checks. *)
+
+val precompute : Cq.t -> pre
+val pre_cq : pre -> Cq.t
+val fingerprint : pre -> Fingerprint.t
+
+val contained_pre : pre -> pre -> bool
+(** [contained_pre p1 p2] = [contained (pre_cq p1) (pre_cq p2)] without
+    rebuilding fingerprints or the target index. Safe to call concurrently
+    from multiple domains. *)
+
+(** {1 Minimization} *)
+
+val minimize_ucq : ?domains:int -> Cq.ucq -> Cq.ucq
 (** Remove every disjunct that is contained in another disjunct; of two
     equivalent disjuncts the one with the smaller body survives. The result
-    is equivalent to the input. *)
+    is equivalent to the input and identical to
+    {!minimize_ucq_reference}. Large unions are minimized by a Domain pool
+    ([domains] defaults to {!Parallel.domain_count}, overridable via the
+    [TGDLIB_DOMAINS] environment variable); the result does not depend on
+    the domain count. *)
+
+val minimize_ucq_reference : Cq.ucq -> Cq.ucq
+(** The original sequential sweep over {!contained_reference}; the semantic
+    reference for tests. *)
+
+(** {1 Observability} *)
+
+type stats = {
+  checks : int;  (** containment checks attempted *)
+  pruned : int;  (** checks decided by the pre-filters alone *)
+  hom_searches : int;  (** full homomorphism searches actually run *)
+}
+
+val stats : unit -> stats
+(** Process-wide counters (atomic; shared across domains). Checks made via
+    {!contained_reference} / {!minimize_ucq_reference} are not counted. *)
+
+val reset_stats : unit -> unit

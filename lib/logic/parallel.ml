@@ -1,0 +1,44 @@
+(* A minimal OCaml 5 Domain-based worker pool: a parallel for-loop with
+   dynamic (work-stealing-by-counter) scheduling. Tasks must not mutate
+   shared state except through [Atomic] (in particular they must not call
+   [Symbol.intern] / [Symbol.fresh], whose tables are not thread-safe). *)
+
+let env_domains () =
+  match Sys.getenv_opt "TGDLIB_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let domain_count () =
+  match env_domains () with
+  | Some n -> n
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let sequential_for n f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let parallel_for ?domains ~n f =
+  let d = min n (match domains with Some d -> max 1 d | None -> domain_count ()) in
+  if d <= 1 then sequential_for n f
+  else begin
+    let next = Atomic.make 0 in
+    let failure : exn option Atomic.t = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (try f i with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get failure with Some e -> raise e | None -> ()
+  end

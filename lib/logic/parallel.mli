@@ -1,0 +1,20 @@
+(** A minimal Domain-based worker pool (OCaml 5).
+
+    Used to parallelize embarrassingly-parallel loops (per-disjunct UCQ
+    subsumption tests). Tasks must be pure up to [Atomic] side effects: in
+    particular they must not intern fresh symbols, whose global tables are
+    not thread-safe. *)
+
+val domain_count : unit -> int
+(** Worker count: the [TGDLIB_DOMAINS] environment variable if set to a
+    positive integer, otherwise [Domain.recommended_domain_count] capped
+    at 8. *)
+
+val sequential_for : int -> (int -> unit) -> unit
+(** [sequential_for n f] runs [f 0 .. f (n-1)] in the calling domain. *)
+
+val parallel_for : ?domains:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~n f] runs [f 0 .. f (n-1)], distributing iterations over
+    [domains] (default {!domain_count}) workers with a shared atomic index.
+    Runs sequentially when [domains <= 1] or [n <= 1]. The first exception
+    raised by a task is re-raised after all workers stop. *)

@@ -9,6 +9,9 @@ type stats = {
   explored : int;
   kept : int;
   max_depth : int;
+  containment_checks : int;
+  containment_pruned : int;
+  hom_searches : int;
 }
 
 type result = {
@@ -22,13 +25,18 @@ type config = {
   max_depth : int;
   max_body_atoms : int;
   prune_subsumed : bool;
+  domains : int option;
 }
 
-let default_config = { max_cqs = 20_000; max_depth = 1_000; max_body_atoms = 64; prune_subsumed = true }
+let default_config =
+  { max_cqs = 20_000; max_depth = 1_000; max_body_atoms = 64; prune_subsumed = true; domains = None }
 
-(* A kept disjunct; [alive] is cleared when a more general CQ retires it. *)
+(* A kept disjunct, carrying its precomputed containment state (fingerprint
+   + frozen homomorphism target, built once); [alive] is cleared when a more
+   general CQ retires it. *)
 type entry = {
   cq : Cq.t;
+  pre : Containment.pre;
   mutable alive : bool;
 }
 
@@ -44,9 +52,9 @@ let factorizations (q : Cq.t) =
         match Unify.mgu atoms.(i) atoms.(j) with
         | None -> ()
         | Some s ->
-          let body = List.sort_uniq Atom.compare (Subst.apply_atoms s q.Cq.body) in
-          let answer = Subst.apply_terms s q.Cq.answer in
-          acc := Cq.make ~name:q.Cq.name ~answer ~body :: !acc
+          (* [Cq.apply] may leave duplicate atoms in the merged body; the
+             canonicalization every candidate goes through dedups them. *)
+          acc := Cq.apply s q :: !acc
     done
   done;
   !acc
@@ -82,6 +90,75 @@ let rewrite_steps index (q : Cq.t) =
 let mentions_aux_pred aux_preds (q : Cq.t) =
   List.exists (fun (a : Atom.t) -> Symbol.Set.mem a.Atom.pred aux_preds) q.Cq.body
 
+(* The kept set, bucketed by (answer arity, predicate-fingerprint word) so a
+   candidate's subsumption scans only visit buckets whose fingerprints pass
+   the subset pre-filter — impossible subsumers are never touched. *)
+module Kept = struct
+  (* Buckets are growable arrays scanned newest-first: a candidate generated
+     at depth d+1 is most often subsumed by a recently added sibling, so the
+     scan usually hits within the first few probes. *)
+  type bucket = {
+    mutable entries : entry array;
+    mutable len : int;
+  }
+
+  type t = {
+    buckets : ((int * int), bucket) Hashtbl.t;
+    mutable all : entry list;  (* insertion order, newest first *)
+  }
+
+  let create () = { buckets = Hashtbl.create 64; all = [] }
+
+  let key e = (Cq.arity e.cq, Fingerprint.pred_bits (Containment.fingerprint e.pre))
+
+  let bucket_push b e =
+    if b.len = Array.length b.entries then begin
+      let bigger = Array.make (2 * b.len) e in
+      Array.blit b.entries 0 bigger 0 b.len;
+      b.entries <- bigger
+    end;
+    b.entries.(b.len) <- e;
+    b.len <- b.len + 1
+
+  let add t e =
+    (match Hashtbl.find_opt t.buckets (key e) with
+    | Some b -> bucket_push b e
+    | None -> Hashtbl.add t.buckets (key e) { entries = Array.make 8 e; len = 1 });
+    t.all <- e :: t.all
+
+  exception Hit
+
+  (* Does some live entry [e] with preds(e) ⊆ preds(candidate) satisfy [p]?
+     (Necessary bucket condition for [candidate <= e].) *)
+  let exists_possible_subsumer t ~arity ~bits p =
+    try
+      Hashtbl.iter
+        (fun (ar, ebits) b ->
+          if ar = arity && Fingerprint.subset_bits ebits bits then
+            for i = b.len - 1 downto 0 do
+              let e = b.entries.(i) in
+              if e.alive && p e then raise Hit
+            done)
+        t.buckets;
+      false
+    with Hit -> true
+
+  (* Visit every live entry [e] with preds(candidate) ⊆ preds(e).
+     (Necessary bucket condition for [e <= candidate].) *)
+  let iter_possible_subsumees t ~arity ~bits f =
+    Hashtbl.iter
+      (fun (ar, ebits) b ->
+        if ar = arity && Fingerprint.subset_bits bits ebits then
+          for i = b.len - 1 downto 0 do
+            let e = b.entries.(i) in
+            if e.alive then f e
+          done)
+      t.buckets
+
+  (* Live CQs in insertion order. *)
+  let survivors t = List.rev_map (fun e -> e.cq) (List.filter (fun e -> e.alive) t.all)
+end
+
 let ucq ?(config = default_config) program0 q0 =
   let program = Program.single_head_normalize program0 in
   let aux_preds =
@@ -96,12 +173,13 @@ let ucq ?(config = default_config) program0 q0 =
   in
   let rule_index = index_rules program in
   let q0 = Cq.canonical q0 in
+  let c0 = Containment.stats () in
   let generated = ref 1 in
   let explored = ref 0 in
   let max_depth_seen = ref 0 in
-  let kept : entry list ref = ref [] in
+  let kept = Kept.create () in
   let seen : (Cq.t, unit) Hashtbl.t = Hashtbl.create 256 in
-  let queue : (int * Cq.t) Queue.t = Queue.create () in
+  let queue : (int * entry) Queue.t = Queue.create () in
   let outcome = ref Complete in
   let stop reason = outcome := Truncated reason in
   (* Install a candidate: dedup by canonical form, prune by containment. *)
@@ -110,25 +188,27 @@ let ucq ?(config = default_config) program0 q0 =
     if List.length c.Cq.body <= config.max_body_atoms && not (Hashtbl.mem seen c) then begin
       Hashtbl.add seen c ();
       incr generated;
+      let pre = Containment.precompute c in
+      let arity = Cq.arity c in
+      let bits = Fingerprint.pred_bits (Containment.fingerprint pre) in
       (* [c] is dropped if a kept disjunct subsumes it — unless they are
          equivalent and [c] has a strictly smaller body, in which case [c]
          replaces the bulkier form (e.g. a factorized self-join). *)
       let subsumed =
         config.prune_subsumed
-        && List.exists
-             (fun e ->
-               e.alive
-               && Containment.contained c e.cq
+        && Kept.exists_possible_subsumer kept ~arity ~bits (fun e ->
+               Containment.contained_pre pre e.pre
                && not
                     (List.length c.Cq.body < List.length e.cq.Cq.body
-                    && Containment.contained e.cq c))
-             !kept
+                    && Containment.contained_pre e.pre pre))
       in
       if not subsumed then begin
         if config.prune_subsumed then
-          List.iter (fun e -> if e.alive && Containment.contained e.cq c then e.alive <- false) !kept;
-        kept := { cq = c; alive = true } :: !kept;
-        Queue.add (depth, c) queue
+          Kept.iter_possible_subsumees kept ~arity ~bits (fun e ->
+              if Containment.contained_pre e.pre pre then e.alive <- false);
+        let entry = { cq = c; pre; alive = true } in
+        Kept.add kept entry;
+        Queue.add (depth, entry) queue
       end
     end
   in
@@ -139,53 +219,73 @@ let ucq ?(config = default_config) program0 q0 =
          stop (Printf.sprintf "budget: %d CQs generated" config.max_cqs);
          raise Exit
        end;
-       let depth, q = Queue.pop queue in
+       let depth, entry = Queue.pop queue in
        (* A retired disjunct's expansions are covered by its subsumer. *)
-       let still_alive =
-         (not config.prune_subsumed)
-         || List.exists (fun e -> e.alive && Cq.equal e.cq q) !kept
-       in
-       if still_alive then begin
+       if entry.alive then begin
          incr explored;
          if depth > !max_depth_seen then max_depth_seen := depth;
          if depth >= config.max_depth then stop (Printf.sprintf "budget: depth %d" config.max_depth)
          else begin
-           List.iter (add (depth + 1)) (rewrite_steps rule_index q);
-           List.iter (add (depth + 1)) (factorizations q)
+           List.iter (add (depth + 1)) (rewrite_steps rule_index entry.cq);
+           List.iter (add (depth + 1)) (factorizations entry.cq)
          end
        end
      done
    with Exit -> ());
   let final =
-    List.rev_map (fun e -> e.cq) (List.filter (fun e -> e.alive) !kept)
+    Kept.survivors kept
     |> List.filter (fun c -> not (mentions_aux_pred aux_preds c))
+    |> Containment.minimize_ucq ?domains:config.domains
   in
-  let final = Containment.minimize_ucq final in
+  let c1 = Containment.stats () in
   {
     ucq = final;
     outcome = !outcome;
     stats =
-      { generated = !generated; explored = !explored; kept = List.length final; max_depth = !max_depth_seen };
+      {
+        generated = !generated;
+        explored = !explored;
+        kept = List.length final;
+        max_depth = !max_depth_seen;
+        containment_checks = c1.Containment.checks - c0.Containment.checks;
+        containment_pruned = c1.Containment.pruned - c0.Containment.pruned;
+        hom_searches = c1.Containment.hom_searches - c0.Containment.hom_searches;
+      };
   }
 
 let ucq_of_union ?config program qs =
   let results = List.map (ucq ?config program) qs in
-  let combined = Containment.minimize_ucq (List.concat_map (fun r -> r.ucq) results) in
+  let domains = Option.bind config (fun c -> c.domains) in
+  let combined = Containment.minimize_ucq ?domains (List.concat_map (fun r -> r.ucq) results) in
   let outcome =
     List.fold_left
       (fun acc r -> match acc with Truncated _ -> acc | Complete -> r.outcome)
       Complete results
   in
+  (* [kept] is a property of the combined union: compute it once, not per
+     folded result. *)
+  let kept = List.length combined in
   let stats =
     List.fold_left
       (fun acc r ->
         {
+          acc with
           generated = acc.generated + r.stats.generated;
           explored = acc.explored + r.stats.explored;
-          kept = List.length combined;
           max_depth = max acc.max_depth r.stats.max_depth;
+          containment_checks = acc.containment_checks + r.stats.containment_checks;
+          containment_pruned = acc.containment_pruned + r.stats.containment_pruned;
+          hom_searches = acc.hom_searches + r.stats.hom_searches;
         })
-      { generated = 0; explored = 0; kept = List.length combined; max_depth = 0 }
+      {
+        generated = 0;
+        explored = 0;
+        kept;
+        max_depth = 0;
+        containment_checks = 0;
+        containment_pruned = 0;
+        hom_searches = 0;
+      }
       results
   in
   { ucq = combined; outcome; stats }

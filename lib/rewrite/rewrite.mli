@@ -27,6 +27,9 @@ type stats = {
   explored : int;  (** CQs popped from the frontier *)
   kept : int;  (** disjuncts in the final UCQ *)
   max_depth : int;  (** deepest rewriting step applied *)
+  containment_checks : int;  (** containment checks attempted during this run *)
+  containment_pruned : int;  (** of those, decided by the fingerprint pre-filter alone *)
+  hom_searches : int;  (** full homomorphism searches actually run *)
 }
 
 type result = {
@@ -40,6 +43,11 @@ type config = {
   max_depth : int;  (** budget on rewriting depth (default 1_000) *)
   max_body_atoms : int;  (** drop candidates with larger bodies (default 64) *)
   prune_subsumed : bool;  (** containment-based pruning (default true) *)
+  domains : int option;
+      (** worker domains for the final UCQ minimization; [None] (default)
+          resolves via {!Tgd_logic.Parallel.domain_count} (respecting the
+          [TGDLIB_DOMAINS] environment variable). The result is independent
+          of the domain count. *)
 }
 
 val default_config : config
@@ -53,3 +61,4 @@ val ucq : ?config:config -> Program.t -> Cq.t -> result
 val ucq_of_union : ?config:config -> Program.t -> Cq.ucq -> result
 (** Rewrite every disjunct and union the results (Definition 1 speaks of
     UCQs; a UCQ rewriting is the union of the per-CQ rewritings). *)
+

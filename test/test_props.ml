@@ -106,6 +106,25 @@ let prop_extra_atom_contained =
       let q' = Cq.make ~name:"q'" ~answer:q.Cq.answer ~body:(extra :: q.Cq.body) in
       Containment.contained q' q)
 
+let prop_contained_matches_reference =
+  (* The filtered/cached engine must agree with the seed implementation. *)
+  QCheck.Test.make ~name:"filtered containment agrees with reference" ~count:1000 arb_cq_pair
+    (fun (q1, q2) ->
+      Containment.contained q1 q2 = Containment.contained_reference q1 q2
+      &&
+      let p1 = Containment.precompute q1 and p2 = Containment.precompute q2 in
+      Containment.contained_pre p1 p2 = Containment.contained_reference q1 q2)
+
+let prop_minimize_matches_reference =
+  QCheck.Test.make ~name:"minimize_ucq equals the reference sweep" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 8) gen_cq))
+    (fun ucq ->
+      let ar = Cq.arity (List.hd ucq) in
+      let ucq = List.filter (fun q -> Cq.arity q = ar) ucq in
+      let m = Containment.minimize_ucq ucq in
+      let r = Containment.minimize_ucq_reference ucq in
+      List.length m = List.length r && List.for_all2 Cq.equal m r)
+
 let prop_minimize_preserves =
   QCheck.Test.make ~name:"minimize_ucq preserves UCQ semantics" ~count:100
     (QCheck.make QCheck.Gen.(list_size (int_range 1 5) gen_cq))
@@ -343,6 +362,42 @@ let prop_unfold_equals_materialize =
         queries)
 
 (* ------------------------------------------------------------------ *)
+(* Rewriting determinism across domain counts *)
+
+let canonical_set ucq = List.sort Cq.compare (List.map Cq.canonical ucq)
+
+let equal_canonical_sets u1 u2 =
+  let s1 = canonical_set u1 and s2 = canonical_set u2 in
+  List.length s1 = List.length s2 && List.for_all2 Cq.equal s1 s2
+
+let test_rewrite_domain_determinism () =
+  (* The UCQ produced by the rewriting engine must not depend on how many
+     domains minimize the kept set. *)
+  let cases =
+    List.map (fun q -> (Tgd_gen.University.ontology, q)) Tgd_gen.University.queries
+    @ [
+        ( Tgd_core.Paper_examples.example1,
+          Cq.make ~name:"q" ~answer:[ v "X" ]
+            ~body:[ Atom.of_strings "r" [ v "X"; v "Y" ] ] );
+        ( Tgd_core.Paper_examples.example3,
+          Cq.make ~name:"q" ~answer:[ v "X" ]
+            ~body:[ Atom.of_strings "s" [ v "X"; v "Y"; v "Z" ] ] );
+      ]
+  in
+  List.iter
+    (fun (p, q) ->
+      let run d =
+        let config = { Tgd_rewrite.Rewrite.default_config with domains = Some d } in
+        (Tgd_rewrite.Rewrite.ucq ~config p q).Tgd_rewrite.Rewrite.ucq
+      in
+      let sequential = run 1 and parallel = run 4 in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=1 and domains=4 agree on %s" q.Cq.name)
+        true
+        (equal_canonical_sets sequential parallel))
+    cases
+
+(* ------------------------------------------------------------------ *)
 (* Rng properties *)
 
 let prop_rng_bounds =
@@ -368,8 +423,12 @@ let () =
             prop_containment_transitive_witness;
             prop_canonical_equivalent;
             prop_extra_atom_contained;
+            prop_contained_matches_reference;
+            prop_minimize_matches_reference;
             prop_minimize_preserves;
           ] );
+      ( "rewrite-determinism",
+        [ Alcotest.test_case "domains=1 vs domains=4" `Quick test_rewrite_domain_determinism ] );
       ("evaluation", List.map to_alcotest [ prop_eval_matches_homomorphisms ]);
       ("chase", List.map to_alcotest [ prop_chase_equals_datalog ]);
       ( "graphs",
