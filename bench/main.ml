@@ -591,7 +591,7 @@ let bench_rewrite_workloads () =
         rw_outcome =
           (match !r.Rewrite.outcome with
           | Rewrite.Complete -> "complete"
-          | Rewrite.Truncated why -> "truncated: " ^ why);
+          | Rewrite.Truncated d -> "truncated: " ^ Tgd_exec.Governor.diag_summary d);
       })
     workloads
 
@@ -666,6 +666,80 @@ let e14 () =
   out "}\n";
   close_out oc;
   row "  wrote BENCH_rewrite.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* E15: resource governance — graceful truncation on divergent inputs  *)
+
+let e15 () =
+  section "E15 (exec): governed truncation on non-terminating chase / rewriting";
+  let module B = Tgd_exec.Budget in
+  let module G = Tgd_exec.Governor in
+  (* p(X) -> r(X,Y); r(X,Y) -> p(Y): an unbounded existential chain — the
+     chase materializes a fresh null every round, forever. *)
+  let v = Term.var in
+  let divergent =
+    Program.make_exn
+      [
+        Tgd.make ~name:"r1" ~body:[ Atom.of_strings "p" [ v "X" ] ]
+          ~head:[ Atom.of_strings "r" [ v "X"; v "Y" ] ];
+        Tgd.make ~name:"r2" ~body:[ Atom.of_strings "r" [ v "X"; v "Y" ] ]
+          ~head:[ Atom.of_strings "p" [ v "Y" ] ];
+      ]
+  in
+  let inst () = Tgd_db.Instance.of_atoms [ Atom.of_strings "p" [ Term.const "a" ] ] in
+  let records = ref [] in
+  (* Trigger-budget truncation: the chase winds down and reports how far it got. *)
+  let gov = G.create ~budget:{ B.unlimited with B.chase_triggers = Some 200 } () in
+  let stats, chase_s = time_once (fun () -> Tgd_chase.Chase.run ~gov divergent (inst ())) in
+  let truncated, why =
+    match stats.Tgd_chase.Chase.outcome with
+    | Tgd_chase.Chase.Truncated d -> (true, G.diag_summary d)
+    | Tgd_chase.Chase.Terminated -> (false, "terminated?!")
+  in
+  row "  chase under chase.triggers=200: %s in %.1fms (%d rounds, %d triggers, +%d facts)\n" why
+    (chase_s *. 1000.) stats.Tgd_chase.Chase.rounds stats.Tgd_chase.Chase.triggers_fired
+    stats.Tgd_chase.Chase.new_facts;
+  check "divergent chase truncates gracefully under trigger budget" ~expected:"yes"
+    ~got:(if truncated && stats.Tgd_chase.Chase.triggers_fired <= 200 then "yes" else "no");
+  records := G.report_json ~run:"chase:trigger-budget" gov :: !records;
+  (* Deadline truncation: wall-clock, not counter-based. *)
+  let gov = G.create ~budget:{ B.unlimited with B.deadline_s = Some 0.05 } () in
+  let stats, chase_s = time_once (fun () -> Tgd_chase.Chase.run ~gov divergent (inst ())) in
+  let deadline_hit =
+    match stats.Tgd_chase.Chase.outcome with
+    | Tgd_chase.Chase.Truncated { G.reason = G.Deadline _; _ } -> true
+    | _ -> false
+  in
+  row "  chase under deadline=50ms: stopped after %.1fms (%d rounds)\n" (chase_s *. 1000.)
+    stats.Tgd_chase.Chase.rounds;
+  check "divergent chase stops on wall-clock deadline within 10x slack" ~expected:"yes"
+    ~got:(if deadline_hit && chase_s < 0.5 then "yes" else "no");
+  records := G.report_json ~run:"chase:deadline" gov :: !records;
+  (* Rewriting truncation: Example 2 is not FO-rewritable; the governed
+     rewriter reports its kept/retired split at the stopping point. *)
+  let gov = G.create ~budget:{ B.unlimited with B.rewrite_cqs = Some 150 } () in
+  let r =
+    Tgd_rewrite.Rewrite.ucq ~gov Tgd_core.Paper_examples.example2
+      Tgd_core.Paper_examples.example2_query
+  in
+  let rw_truncated, kept, retired =
+    match r.Tgd_rewrite.Rewrite.outcome with
+    | Tgd_rewrite.Rewrite.Truncated d ->
+      let get k = try List.assoc k d.G.counters with Not_found -> 0 in
+      (true, get "rewrite.kept", get "rewrite.retired")
+    | Tgd_rewrite.Rewrite.Complete -> (false, 0, 0)
+  in
+  row "  rewrite of Example 2 under rewrite.cqs=150: truncated with %d kept / %d retired\n" kept
+    retired;
+  check "divergent rewriting truncates with kept/retired diagnostics" ~expected:"yes"
+    ~got:(if rw_truncated && kept > 0 then "yes" else "no");
+  records := G.report_json ~run:"rewrite:cq-budget" gov :: !records;
+  (* Telemetry trajectory file, sibling of BENCH_rewrite.json. *)
+  let oc = open_out "BENCH_telemetry.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"bench_telemetry/v1\",\n  \"runs\": [\n    %s\n  ]\n}\n"
+    (String.concat ",\n    " (List.rev !records));
+  close_out oc;
+  row "  wrote BENCH_telemetry.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                    *)
@@ -786,5 +860,6 @@ let () =
   e12 ();
   e13 ();
   e14 ();
+  e15 ();
   if not quick then run_bechamel ();
   Printf.printf "\nAll experiments done.\n"

@@ -45,6 +45,71 @@ let data_arg =
         ~doc:"Extra facts from a CSV file (predicate,arg1,arg2,...); repeatable.")
 
 (* ------------------------------------------------------------------ *)
+(* Resource governance: flags shared by the execution commands         *)
+
+let budget_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "budget" ] ~docv:"SPEC"
+        ~doc:
+          "Per-run resource budget as comma-separated key=value pairs, e.g. \
+           $(b,chase.rounds=100,rewrite.cqs=5000,deadline=2.5). Keys: chase.rounds, chase.facts, \
+           chase.triggers, rewrite.cqs, rewrite.expansions, rewrite.depth, containment.checks, \
+           eval.steps, deadline (float seconds). Budget exhaustion truncates the run gracefully \
+           and reports diagnostics.")
+
+let deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock deadline per run; shorthand for deadline=... inside $(b,--budget).")
+
+let stats_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the runs' telemetry records (counters, phase timings, peak sizes) as a JSON \
+              array to FILE, or to stdout with $(b,-).")
+
+let budget_of_flags budget deadline =
+  let base =
+    match budget with
+    | None -> Tgd_exec.Budget.unlimited
+    | Some spec -> (
+      match Tgd_exec.Budget.of_string spec with
+      | Ok b -> b
+      | Error msg ->
+        Format.eprintf "bad --budget: %s@." msg;
+        exit 2)
+  in
+  match deadline with None -> base | Some s -> { base with Tgd_exec.Budget.deadline_s = Some s }
+
+(* One governor per run. The containment counters are process-wide, so they
+   are reset at every run boundary: telemetry from consecutive invocations
+   in one process must never accumulate stale counts. *)
+let fresh_governor budget =
+  Tgd_logic.Containment.reset_stats ();
+  Tgd_exec.Governor.create ~budget ()
+
+let emit_stats stats_json records =
+  match stats_json with
+  | None -> ()
+  | Some dest ->
+    let payload = "[\n  " ^ String.concat ",\n  " records ^ "\n]\n" in
+    if dest = "-" then print_string payload
+    else begin
+      let oc = open_out dest in
+      output_string oc payload;
+      close_out oc;
+      Format.printf "wrote %s@." dest
+    end
+
+let pp_truncation d = Format.printf "  %a@." Tgd_exec.Governor.pp_diagnostics d
+
+let record_and_emit stats_json run gov =
+  emit_stats stats_json [ Tgd_exec.Governor.report_json ~run gov ]
+
+(* ------------------------------------------------------------------ *)
 (* classify                                                            *)
 
 let classify_cmd =
@@ -134,21 +199,26 @@ let graph_cmd =
 (* rewrite                                                             *)
 
 let rewrite_cmd =
-  let run path sql max_cqs =
+  let run path sql max_cqs budget deadline stats_json =
     let p, doc = load_program path in
     if doc.Tgd_parser.Parser.queries = [] then begin
       Format.eprintf "no queries in %s (add lines like: q(X) :- person(X).)@." path;
       exit 2
     end;
     let config = { Tgd_rewrite.Rewrite.default_config with max_cqs } in
+    let b = budget_of_flags budget deadline in
+    let records = ref [] in
     List.iter
       (fun q ->
-        let r = Tgd_rewrite.Rewrite.ucq ~config p q in
+        let gov = fresh_governor b in
+        let r = Tgd_rewrite.Rewrite.ucq ~config ~gov p q in
         Format.printf "%% query %s: %d disjunct(s), %s@." q.Cq.name
           (List.length r.Tgd_rewrite.Rewrite.ucq)
           (match r.Tgd_rewrite.Rewrite.outcome with
           | Tgd_rewrite.Rewrite.Complete -> "complete rewriting"
-          | Tgd_rewrite.Rewrite.Truncated why -> "TRUNCATED (" ^ why ^ ")");
+          | Tgd_rewrite.Rewrite.Truncated d ->
+            "TRUNCATED (" ^ Tgd_exec.Governor.diag_summary d ^ ")");
+        records := Tgd_exec.Governor.report_json ~run:("rewrite:" ^ q.Cq.name) gov :: !records;
         if sql then
           match r.Tgd_rewrite.Rewrite.ucq with
           | [] -> Format.printf "-- empty rewriting: no SQL@."
@@ -157,7 +227,8 @@ let rewrite_cmd =
           Cq.pp_ucq Format.std_formatter r.Tgd_rewrite.Rewrite.ucq;
           Format.printf "@."
         end)
-      doc.Tgd_parser.Parser.queries
+      doc.Tgd_parser.Parser.queries;
+    emit_stats stats_json (List.rev !records)
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let sql = Arg.(value & flag & info [ "sql" ] ~doc:"Print SQL instead of Datalog syntax.") in
@@ -166,25 +237,47 @@ let rewrite_cmd =
   in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Compute the UCQ (or SQL) rewriting of each query in the file.")
-    Term.(const run $ path $ sql $ max_cqs)
+    Term.(const run $ path $ sql $ max_cqs $ budget_arg $ deadline_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answer                                                              *)
 
 let answer_cmd =
-  let run path method_ data_files =
+  let run path method_ data_files budget deadline stats_json =
     let p, doc = load_program path in
     let inst = load_instance doc data_files in
+    (* A supplied governor bypasses the chase's own round/fact defaults, so
+       merge them into the budget when the spec leaves them unset. *)
+    let b =
+      let b = budget_of_flags budget deadline in
+      {
+        b with
+        Tgd_exec.Budget.chase_rounds =
+          (match b.Tgd_exec.Budget.chase_rounds with None -> Some 1_000 | some -> some);
+        chase_facts =
+          (match b.Tgd_exec.Budget.chase_facts with None -> Some 1_000_000 | some -> some);
+      }
+    in
+    let records = ref [] in
+    let record run gov = records := Tgd_exec.Governor.report_json ~run gov :: !records in
     let answer_by_rewriting q =
-      let r = Tgd_rewrite.Rewrite.ucq p q in
-      ( Tgd_db.Eval.ucq inst r.Tgd_rewrite.Rewrite.ucq
-        |> List.filter (fun t -> not (Tgd_db.Tuple.has_null t)),
-        match r.Tgd_rewrite.Rewrite.outcome with
+      let gov = fresh_governor b in
+      let r = Tgd_rewrite.Rewrite.ucq ~gov p q in
+      let answers =
+        Tgd_db.Eval.ucq ~gov inst r.Tgd_rewrite.Rewrite.ucq
+        |> List.filter (fun t -> not (Tgd_db.Tuple.has_null t))
+      in
+      record ("answer.rewriting:" ^ q.Cq.name) gov;
+      ( answers,
+        (match r.Tgd_rewrite.Rewrite.outcome with
         | Tgd_rewrite.Rewrite.Complete -> true
-        | Tgd_rewrite.Rewrite.Truncated _ -> false )
+        | Tgd_rewrite.Rewrite.Truncated _ -> false)
+        && Tgd_exec.Governor.stopped gov = None )
     in
     let answer_by_chase q =
-      let r = Tgd_chase.Certain.cq p inst q in
+      let gov = fresh_governor b in
+      let r = Tgd_chase.Certain.cq ~gov p inst q in
+      record ("answer.chase:" ^ q.Cq.name) gov;
       (r.Tgd_chase.Certain.answers, r.Tgd_chase.Certain.exact)
     in
     let print_answers q answers exact =
@@ -205,10 +298,13 @@ let answer_cmd =
           let a1, e1 = answer_by_rewriting q in
           let a2, e2 = answer_by_chase q in
           print_answers q a1 (e1 && e2);
-          if not (List.length a1 = List.length a2 && List.for_all2 Tgd_db.Tuple.equal a1 a2) then
+          if (e1 && e2)
+             && not (List.length a1 = List.length a2 && List.for_all2 Tgd_db.Tuple.equal a1 a2)
+          then
             Format.printf "  WARNING: rewriting (%d) and chase (%d) disagree@." (List.length a1)
               (List.length a2))
-      doc.Tgd_parser.Parser.queries
+      doc.Tgd_parser.Parser.queries;
+    emit_stats stats_json (List.rev !records)
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let method_ =
@@ -217,22 +313,38 @@ let answer_cmd =
   Cmd.v
     (Cmd.info "answer"
        ~doc:"Compute certain answers to the queries in the file over its facts.")
-    Term.(const run $ path $ method_ $ data_arg)
+    Term.(const run $ path $ method_ $ data_arg $ budget_arg $ deadline_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chase                                                               *)
 
 let chase_cmd =
-  let run path max_rounds max_facts print_facts data_files =
+  let run path max_rounds max_facts print_facts data_files budget deadline stats_json =
     let p, doc = load_program path in
     let inst = load_instance doc data_files in
-    let stats = Tgd_chase.Chase.run ~max_rounds ~max_facts p inst in
+    (* --max-rounds / --max-facts are defaults; an explicit --budget key wins. *)
+    let b =
+      let b = budget_of_flags budget deadline in
+      {
+        b with
+        Tgd_exec.Budget.chase_rounds =
+          (match b.Tgd_exec.Budget.chase_rounds with None -> Some max_rounds | some -> some);
+        chase_facts =
+          (match b.Tgd_exec.Budget.chase_facts with None -> Some max_facts | some -> some);
+      }
+    in
+    let gov = fresh_governor b in
+    let stats = Tgd_chase.Chase.run ~gov p inst in
     Format.printf "chase: %s after %d round(s); +%d fact(s), %d null(s), %d trigger(s) fired@."
       (match stats.Tgd_chase.Chase.outcome with
       | Tgd_chase.Chase.Terminated -> "terminated"
-      | Tgd_chase.Chase.Budget_exhausted -> "budget exhausted")
+      | Tgd_chase.Chase.Truncated d -> "TRUNCATED (" ^ Tgd_exec.Governor.diag_summary d ^ ")")
       stats.Tgd_chase.Chase.rounds stats.Tgd_chase.Chase.new_facts stats.Tgd_chase.Chase.nulls
       stats.Tgd_chase.Chase.triggers_fired;
+    (match stats.Tgd_chase.Chase.outcome with
+    | Tgd_chase.Chase.Truncated d -> pp_truncation d
+    | Tgd_chase.Chase.Terminated -> ());
+    record_and_emit stats_json "chase" gov;
     if print_facts then Format.printf "%a@." Tgd_db.Instance.pp inst
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -241,7 +353,9 @@ let chase_cmd =
   let print_facts = Arg.(value & flag & info [ "facts" ] ~doc:"Print the chased instance.") in
   Cmd.v
     (Cmd.info "chase" ~doc:"Materialize the facts of the file under its TGDs.")
-    Term.(const run $ path $ max_rounds $ max_facts $ print_facts $ data_arg)
+    Term.(
+      const run $ path $ max_rounds $ max_facts $ print_facts $ data_arg $ budget_arg
+      $ deadline_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check: consistency against negative constraints                     *)

@@ -47,8 +47,9 @@ let () =
   rule_line "rewriting of q() :- r(a,X) terminates"
     (match r.Tgd_rewrite.Rewrite.outcome with
     | Tgd_rewrite.Rewrite.Complete -> "yes (unexpected!)"
-    | Tgd_rewrite.Rewrite.Truncated why ->
-      Printf.sprintf "no — unbounded chain (%s, reached depth %d)" why
+    | Tgd_rewrite.Rewrite.Truncated d ->
+      Printf.sprintf "no — unbounded chain (%s, reached depth %d)"
+        (Tgd_exec.Governor.diag_summary d)
         r.Tgd_rewrite.Rewrite.stats.Tgd_rewrite.Rewrite.max_depth);
 
   (* ---- Figure 3 / Example 2, P-node graph -------------------------- *)
@@ -88,6 +89,6 @@ let () =
       Format.printf "    q over %s: %s, %d disjunct(s)@." (Tgd_logic.Symbol.name pred)
         (match r.Tgd_rewrite.Rewrite.outcome with
         | Tgd_rewrite.Rewrite.Complete -> "complete"
-        | Tgd_rewrite.Rewrite.Truncated w -> "truncated: " ^ w)
+        | Tgd_rewrite.Rewrite.Truncated d -> "truncated: " ^ Tgd_exec.Governor.diag_summary d)
         (List.length r.Tgd_rewrite.Rewrite.ucq))
     (Tgd_logic.Program.predicates p3)

@@ -6,11 +6,17 @@ type result = {
   chase : Chase.stats;
 }
 
-let ucq ?variant ?max_rounds ?max_facts program inst disjuncts =
+let ucq ?variant ?max_rounds ?max_facts ?gov program inst disjuncts =
   let work = Instance.copy inst in
-  let chase = Chase.run ?variant ?max_rounds ?max_facts program work in
-  let answers = Eval.ucq work disjuncts |> List.filter (fun t -> not (Tuple.has_null t)) in
-  { answers; exact = chase.Chase.outcome = Chase.Terminated; chase }
+  let chase = Chase.run ?variant ?max_rounds ?max_facts ?gov program work in
+  let answers = Eval.ucq ?gov work disjuncts |> List.filter (fun t -> not (Tuple.has_null t)) in
+  let exact =
+    (* Exact iff the chase reached a universal model AND the evaluation was
+       not cut short by the governor afterwards. *)
+    (match chase.Chase.outcome with Chase.Terminated -> true | Chase.Truncated _ -> false)
+    && (match gov with None -> true | Some g -> Tgd_exec.Governor.stopped g = None)
+  in
+  { answers; exact; chase }
 
-let cq ?variant ?max_rounds ?max_facts program inst q =
-  ucq ?variant ?max_rounds ?max_facts program inst [ q ]
+let cq ?variant ?max_rounds ?max_facts ?gov program inst q =
+  ucq ?variant ?max_rounds ?max_facts ?gov program inst [ q ]

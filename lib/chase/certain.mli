@@ -10,7 +10,9 @@ open Tgd_db
 
 type result = {
   answers : Tuple.t list;  (** null-free, deduplicated, sorted *)
-  exact : bool;  (** [true] iff the chase reached a fixpoint *)
+  exact : bool;
+      (** [true] iff the chase reached a fixpoint and the evaluation was not
+          truncated by the governor *)
   chase : Chase.stats;
 }
 
@@ -18,18 +20,22 @@ val ucq :
   ?variant:Chase.variant ->
   ?max_rounds:int ->
   ?max_facts:int ->
+  ?gov:Tgd_exec.Governor.t ->
   Program.t ->
   Instance.t ->
   Cq.ucq ->
   result
 (** The input instance is not modified (the chase runs on a copy). When
     [exact] is false the answers are a sound under-approximation of the
-    certain answers. *)
+    certain answers. A supplied governor spans both phases — chase
+    materialization and query evaluation — so one deadline covers the whole
+    certain-answer computation. *)
 
 val cq :
   ?variant:Chase.variant ->
   ?max_rounds:int ->
   ?max_facts:int ->
+  ?gov:Tgd_exec.Governor.t ->
   Program.t ->
   Instance.t ->
   Cq.t ->

@@ -1,5 +1,6 @@
 open Tgd_logic
 open Tgd_db
+open Tgd_exec
 
 type variant =
   | Oblivious
@@ -7,7 +8,7 @@ type variant =
 
 type outcome =
   | Terminated
-  | Budget_exhausted
+  | Truncated of Governor.diagnostics
 
 type stats = {
   outcome : outcome;
@@ -24,20 +25,34 @@ module Key_table = Hashtbl.Make (struct
   let hash (n, t) = (Hashtbl.hash n * 31) + Tuple.hash t
 end)
 
-let run ?(variant = Restricted) ?(max_rounds = 1_000) ?(max_facts = 1_000_000) program inst =
+let default_governor ~max_rounds ~max_facts () =
+  Governor.create
+    ~budget:
+      {
+        Budget.unlimited with
+        Budget.chase_rounds = Some max_rounds;
+        chase_facts = Some max_facts;
+      }
+    ()
+
+let run ?(variant = Restricted) ?(max_rounds = 1_000) ?(max_facts = 1_000_000) ?gov program inst =
+  let gov = match gov with Some g -> g | None -> default_governor ~max_rounds ~max_facts () in
+  let tele = Governor.telemetry gov in
   let gen = Null_gen.create () in
   let fired : unit Key_table.t = Key_table.create 256 in
   let new_facts = ref 0 in
   let triggers_fired = ref 0 in
   let rounds = ref 0 in
-  let outcome = ref Terminated in
-  let budget_ok () = Instance.cardinality inst <= max_facts && !rounds < max_rounds in
+  (* Set when a budget stop skipped pending triggers mid-round: the empty
+     final delta then does not mean a fixpoint was reached. *)
+  let skipped_work = ref false in
   let apply_trigger ~delta_out tr =
     let k = Trigger.key tr in
     if not (Key_table.mem fired k) then begin
       Key_table.add fired k ();
       let fire () =
         incr triggers_fired;
+        Governor.charge gov Budget.key_chase_triggers;
         List.iter
           (fun (pred, t) ->
             if Instance.add_fact inst pred t then begin
@@ -55,18 +70,36 @@ let run ?(variant = Restricted) ?(max_rounds = 1_000) ?(max_facts = 1_000_000) p
   let round delta =
     let delta_out : Tuple.t list Symbol.Table.t = Symbol.Table.create 16 in
     let triggers = Trigger.find_new program inst ~delta in
-    List.iter (apply_trigger ~delta_out) triggers;
+    (* Budget checks sit at the trigger loop head, not just between rounds:
+       a single round over a large delta can fire unboundedly many
+       triggers. *)
+    List.iter
+      (fun tr ->
+        if Governor.live gov then apply_trigger ~delta_out tr else skipped_work := true)
+      triggers;
+    incr rounds;
+    Governor.charge gov Budget.key_chase_rounds;
+    Governor.gauge gov Budget.key_chase_facts (Instance.cardinality inst);
     delta_out
   in
   let delta = ref (round None) in
-  rounds := 1;
-  while Symbol.Table.length !delta > 0 && budget_ok () do
-    delta := round (Some !delta);
-    incr rounds
+  while Governor.live gov && Symbol.Table.length !delta > 0 do
+    delta := round (Some !delta)
   done;
-  if Symbol.Table.length !delta > 0 then outcome := Budget_exhausted;
+  Telemetry.gauge tele "chase.nulls" (Null_gen.count gen);
+  let outcome =
+    if Symbol.Table.length !delta > 0 || !skipped_work then begin
+      (* The loop only exits with pending work when the governor stopped;
+         make sure a reason is latched even on an exotic path. *)
+      if Governor.stopped gov = None then
+        Governor.stop gov
+          (Governor.Limit { counter = Budget.key_chase_rounds; limit = max_rounds });
+      Truncated (Option.get (Governor.diagnostics gov))
+    end
+    else Terminated
+  in
   {
-    outcome = !outcome;
+    outcome;
     rounds = !rounds;
     new_facts = !new_facts;
     nulls = Null_gen.count gen;

@@ -6,12 +6,19 @@
     satisfied) are provided. The chase proceeds in breadth-first rounds,
     which makes it fair: every trigger is eventually considered, so when the
     run terminates the result is a universal model of [(P, D)] and certain
-    answers coincide with the null-free answers over it. For non-terminating
-    inputs the run stops when a budget is exhausted, yielding a sound
-    under-approximation. *)
+    answers coincide with the null-free answers over it.
+
+    The chase need not terminate outside the weakly-acyclic classes, so the
+    loop is governed: a {!Tgd_exec.Governor} is polled at the round head
+    {e and} at every trigger application, and trigger/round/fact work is
+    charged against its budget. When the governor stops (budget, deadline,
+    or external cancellation) the run winds down cooperatively and reports
+    [Truncated] with the governor's diagnostics — a sound
+    under-approximation, never a hang, never an exception. *)
 
 open Tgd_logic
 open Tgd_db
+open Tgd_exec
 
 type variant =
   | Oblivious
@@ -19,7 +26,9 @@ type variant =
 
 type outcome =
   | Terminated  (** fixpoint reached: the instance is a universal model *)
-  | Budget_exhausted  (** a budget stopped the run first *)
+  | Truncated of Governor.diagnostics
+      (** a budget, the deadline or cancellation stopped the run first; the
+          diagnostics carry how far it got (rounds, triggers fired, facts) *)
 
 type stats = {
   outcome : outcome;
@@ -33,8 +42,12 @@ val run :
   ?variant:variant ->
   ?max_rounds:int ->
   ?max_facts:int ->
+  ?gov:Governor.t ->
   Program.t ->
   Instance.t ->
   stats
 (** Mutates the instance. Defaults: [Restricted], [max_rounds = 1_000],
-    [max_facts = 1_000_000]. *)
+    [max_facts = 1_000_000]. When [gov] is supplied it takes over budgeting
+    entirely ([max_rounds]/[max_facts] are ignored — configure the
+    governor's {!Tgd_exec.Budget} instead) and the run's counters land in
+    its telemetry under the [chase.*] keys. *)

@@ -25,11 +25,11 @@ exception Hard of violation
 exception Merge of Value.t * Value.t (* from_, to_ *)
 
 (* Find one applicable EGD step: a violation to merge or a hard failure. *)
-let find_step egds inst =
+let find_step ?gov egds inst =
   try
     List.iter
       (fun (egd : Egd.t) ->
-        Eval.bindings inst egd.Egd.body (fun env ->
+        Eval.bindings ?gov inst egd.Egd.body (fun env ->
             let value v =
               match Symbol.Map.find_opt v env with Some value -> value | None -> assert false
             in
@@ -45,12 +45,19 @@ let find_step egds inst =
   | Merge (from_, to_) -> `Merge (from_, to_)
   | Hard v -> `Hard v
 
-let saturate egds inst =
+let saturate ?gov egds inst =
+  let live () = match gov with None -> true | Some g -> Tgd_exec.Governor.live g in
   let rec loop inst merges =
-    match find_step egds inst with
-    | `Stable -> Ok (inst, merges)
-    | `Hard v -> Error v
-    | `Merge (from_, to_) -> loop (substitute inst ~from_ ~to_) (merges + 1)
+    (* Merge-loop head: EGD saturation can cascade (each substitution may
+       expose new violations), so it is governed like the chase rounds. *)
+    if not (live ()) then Ok (inst, merges)
+    else
+      match find_step ?gov egds inst with
+      | `Stable -> Ok (inst, merges)
+      | `Hard v -> Error v
+      | `Merge (from_, to_) ->
+        Option.iter (fun g -> Tgd_exec.Governor.charge g "egd.merges") gov;
+        loop (substitute inst ~from_ ~to_) (merges + 1)
   in
   loop (Instance.copy inst) 0
 
@@ -65,21 +72,21 @@ type outcome = {
 let add_stats (a : Chase.stats) (b : Chase.stats) =
   {
     Chase.outcome =
-      (if a.Chase.outcome = Chase.Budget_exhausted then a.Chase.outcome else b.Chase.outcome);
+      (match a.Chase.outcome with Chase.Truncated _ -> a.Chase.outcome | Chase.Terminated -> b.Chase.outcome);
     rounds = a.Chase.rounds + b.Chase.rounds;
     new_facts = a.Chase.new_facts + b.Chase.new_facts;
     nulls = a.Chase.nulls + b.Chase.nulls;
     triggers_fired = a.Chase.triggers_fired + b.Chase.triggers_fired;
   }
 
-let run ?variant ?max_rounds ?max_facts ?(max_iterations = 20) ~tgds ~egds inst =
+let run ?variant ?max_rounds ?max_facts ?gov ?(max_iterations = 20) ~tgds ~egds inst =
   let zero =
     { Chase.outcome = Chase.Terminated; rounds = 0; new_facts = 0; nulls = 0; triggers_fired = 0 }
   in
   let rec loop inst stats merges k =
-    let step_stats = Chase.run ?variant ?max_rounds ?max_facts tgds inst in
+    let step_stats = Chase.run ?variant ?max_rounds ?max_facts ?gov tgds inst in
     let stats = add_stats stats step_stats in
-    match saturate egds inst with
+    match saturate ?gov egds inst with
     | Error v -> { instance = inst; chase = stats; merges; consistent = false; violation = Some v }
     | Ok (merged, 0) ->
       { instance = merged; chase = stats; merges; consistent = true; violation = None }

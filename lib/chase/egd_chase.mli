@@ -15,10 +15,13 @@ type violation = {
 
 val pp_violation : Format.formatter -> violation -> unit
 
-val saturate : Egd.t list -> Instance.t -> (Instance.t * int, violation) result
+val saturate :
+  ?gov:Tgd_exec.Governor.t -> Egd.t list -> Instance.t -> (Instance.t * int, violation) result
 (** Apply the EGDs to a fixpoint. Returns the rewritten instance (the input
     is not mutated) and the number of merges performed, or the first hard
-    violation. *)
+    violation. The merge loop polls the governor at its head (merges cascade
+    unboundedly in the worst case) and charges [egd.merges]; a stopped
+    governor yields the instance merged so far. *)
 
 type outcome = {
   instance : Instance.t;
@@ -32,6 +35,7 @@ val run :
   ?variant:Chase.variant ->
   ?max_rounds:int ->
   ?max_facts:int ->
+  ?gov:Tgd_exec.Governor.t ->
   ?max_iterations:int ->
   tgds:Tgd_logic.Program.t ->
   egds:Egd.t list ->

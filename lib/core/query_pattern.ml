@@ -41,7 +41,7 @@ let analyze ?config p pat =
   let r = Tgd_rewrite.Rewrite.ucq ?config p (generic_query pat) in
   match r.Tgd_rewrite.Rewrite.outcome with
   | Tgd_rewrite.Rewrite.Complete -> Terminates (List.length r.Tgd_rewrite.Rewrite.ucq)
-  | Tgd_rewrite.Rewrite.Truncated why -> Diverges why
+  | Tgd_rewrite.Rewrite.Truncated d -> Diverges (Tgd_exec.Governor.diag_summary d)
 
 let analyze_all ?config ?(max_arity = 6) p =
   let masks arity =

@@ -51,7 +51,7 @@ let candidates inst env (a : Atom.t) =
     | Some (pos, v) -> Relation.lookup rel ~pos v
     | None -> Relation.to_list rel)
 
-let bindings ?(init = Symbol.Map.empty) ?forced inst atoms k =
+let bindings ?gov ?(init = Symbol.Map.empty) ?forced inst atoms k =
   (* Tag atoms with their position so the forced atom can be recognised
      after reordering, and with their relation's cardinality so the
      per-step selection does not re-query the instance. *)
@@ -59,10 +59,23 @@ let bindings ?(init = Symbol.Map.empty) ?forced inst atoms k =
   let forced_index, forced_tuples =
     match forced with Some (i, ts) -> (i, ts) | None -> (-1, [])
   in
+  (* Join-search loop head: a governed evaluation stops emitting bindings
+     once the governor trips (partial answers — the caller learns about the
+     truncation from the governor, not from us). *)
+  let live =
+    match gov with
+    | None -> fun () -> true
+    | Some g ->
+      fun () ->
+        Tgd_exec.Governor.charge g Tgd_exec.Budget.key_eval_steps;
+        Tgd_exec.Governor.live g
+  in
   let rec go env remaining =
-    match remaining with
-    | [] -> k env
-    | _ ->
+    if not (live ()) then ()
+    else
+      match remaining with
+      | [] -> k env
+      | _ ->
       (* Adaptive greedy choice: forced atom first, then most bound
          positions, then smaller relation. *)
       let score (i, a, size) =
@@ -98,25 +111,25 @@ let answer_tuple env answer =
   in
   Array.of_list (List.map value answer)
 
-let collect inst (q : Cq.t) acc =
-  bindings inst q.Cq.body (fun env ->
+let collect ?gov inst (q : Cq.t) acc =
+  bindings ?gov inst q.Cq.body (fun env ->
       let t = answer_tuple env q.Cq.answer in
       if not (Tuple.Table.mem acc t) then Tuple.Table.add acc t ())
 
-let cq inst q =
+let cq ?gov inst q =
   let acc = Tuple.Table.create 64 in
-  collect inst q acc;
+  collect ?gov inst q acc;
   Tuple.Table.fold (fun t () l -> t :: l) acc [] |> List.sort Tuple.compare
 
 exception Found
 
-let cq_exists inst q =
+let cq_exists ?gov inst q =
   try
-    bindings inst q.Cq.body (fun _ -> raise Found);
+    bindings ?gov inst q.Cq.body (fun _ -> raise Found);
     false
   with Found -> true
 
-let ucq inst disjuncts =
+let ucq ?gov inst disjuncts =
   let acc = Tuple.Table.create 64 in
-  List.iter (fun q -> collect inst q acc) disjuncts;
+  List.iter (fun q -> collect ?gov inst q acc) disjuncts;
   Tuple.Table.fold (fun t () l -> t :: l) acc [] |> List.sort Tuple.compare

@@ -3,7 +3,14 @@
     The evaluator performs an index-nested-loop join with an adaptive greedy
     plan: at every step the next atom is the one with the most bound
     positions, breaking ties towards the smaller relation. Bound positions
-    are served from the per-column hash indexes of {!Relation}. *)
+    are served from the per-column hash indexes of {!Relation}.
+
+    Every entry point takes an optional {!Tgd_exec.Governor}: a governed
+    evaluation charges [eval.steps] per join-search node and stops emitting
+    bindings as soon as the governor trips (deadline, budget, cancellation),
+    yielding the answers found so far — the caller distinguishes a complete
+    from a truncated answer set by asking the governor. Without a governor
+    the code path is unchanged and pays no overhead. *)
 
 open Tgd_logic
 
@@ -11,7 +18,13 @@ type env = Value.t Symbol.Map.t
 (** A variable assignment. *)
 
 val bindings :
-  ?init:env -> ?forced:int * Tuple.t list -> Instance.t -> Atom.t list -> (env -> unit) -> unit
+  ?gov:Tgd_exec.Governor.t ->
+  ?init:env ->
+  ?forced:int * Tuple.t list ->
+  Instance.t ->
+  Atom.t list ->
+  (env -> unit) ->
+  unit
 (** [bindings inst atoms k] calls [k] on every assignment of the variables of
     [atoms] that makes all atoms true in [inst]. [init] pre-binds variables
     (default empty). With [~forced:(i, tuples)], the [i]-th atom (0-based, in
@@ -22,13 +35,13 @@ val answer_tuple : env -> Term.t list -> Tuple.t
 (** Build the answer tuple for the given answer terms under an assignment.
     Raises [Invalid_argument] if an answer variable is unbound. *)
 
-val cq : Instance.t -> Cq.t -> Tuple.t list
+val cq : ?gov:Tgd_exec.Governor.t -> Instance.t -> Cq.t -> Tuple.t list
 (** All answers, deduplicated and sorted. For a boolean query the answer is
     [[ [||] ]] (one empty tuple) if the body is satisfiable and [[]]
     otherwise. *)
 
-val cq_exists : Instance.t -> Cq.t -> bool
+val cq_exists : ?gov:Tgd_exec.Governor.t -> Instance.t -> Cq.t -> bool
 (** Does the query have at least one answer? *)
 
-val ucq : Instance.t -> Cq.ucq -> Tuple.t list
+val ucq : ?gov:Tgd_exec.Governor.t -> Instance.t -> Cq.ucq -> Tuple.t list
 (** Union of the answers of the disjuncts, deduplicated and sorted. *)

@@ -1,0 +1,82 @@
+type t = {
+  lock : Mutex.t;
+  counters : (string, int) Hashtbl.t;
+  peaks : (string, int) Hashtbl.t;
+  phases : (string, float) Hashtbl.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    counters = Hashtbl.create 16;
+    peaks = Hashtbl.create 8;
+    phases = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.peaks;
+      Hashtbl.reset t.phases)
+
+let add t key n =
+  locked t (fun () ->
+      let v = n + Option.value ~default:0 (Hashtbl.find_opt t.counters key) in
+      Hashtbl.replace t.counters key v;
+      v)
+
+let get t key = locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.counters key))
+let set_counter t key v = locked t (fun () -> Hashtbl.replace t.counters key v)
+
+let gauge t key v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.peaks key with
+      | Some p when p >= v -> ()
+      | _ -> Hashtbl.replace t.peaks key v)
+
+let peak t key = locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.peaks key))
+
+let add_span t key s =
+  locked t (fun () ->
+      let v = s +. Option.value ~default:0.0 (Hashtbl.find_opt t.phases key) in
+      Hashtbl.replace t.phases key v)
+
+let time t key f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_span t key (Unix.gettimeofday () -. t0)) f
+
+let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let counters t = locked t (fun () -> sorted t.counters)
+let peaks t = locked t (fun () -> sorted t.peaks)
+let phases t = locked t (fun () -> sorted t.phases)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_object fields to_value =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> json_string k ^ ": " ^ to_value v) fields) ^ "}"
+
+let to_json_fields t =
+  Printf.sprintf "\"counters\": %s, \"peaks\": %s, \"phases\": %s"
+    (json_object (counters t) string_of_int)
+    (json_object (peaks t) string_of_int)
+    (json_object (phases t) (Printf.sprintf "%.6f"))

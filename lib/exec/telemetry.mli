@@ -1,0 +1,63 @@
+(** Structured per-run telemetry: named counters, peak gauges and phase
+    timings, collected by the engines while a {!Governor} supervises the
+    run, and serializable as JSON.
+
+    A record is cheap to mutate (a mutex-guarded hash table per kind — the
+    chase and rewrite loops charge coarse-grained events, not per-tuple
+    work) and is safe to share across domains. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Clear every counter, peak and phase. Used between consecutive runs in
+    one process so telemetry never accumulates stale counts. *)
+
+(** {1 Counters} *)
+
+val add : t -> string -> int -> int
+(** [add t key n] increments counter [key] by [n] and returns the new
+    value. *)
+
+val get : t -> string -> int
+(** Current value of a counter ([0] if never charged). *)
+
+val set_counter : t -> string -> int -> unit
+(** Overwrite a counter with an absolute value (used to mirror externally
+    accumulated statistics into the run record). *)
+
+(** {1 Peak gauges} *)
+
+val gauge : t -> string -> int -> unit
+(** [gauge t key v] records [v] as the new peak for [key] if it exceeds the
+    stored one. *)
+
+val peak : t -> string -> int
+(** Current peak ([0] if never gauged). *)
+
+(** {1 Phase timings} *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t phase f] runs [f] and adds its wall-clock duration to the
+    accumulated time of [phase]. Re-entrant per phase name (durations just
+    accumulate). *)
+
+val add_span : t -> string -> float -> unit
+(** Add [seconds] to a phase's accumulated time directly. *)
+
+(** {1 Snapshots} *)
+
+val counters : t -> (string * int) list
+(** Sorted by key. *)
+
+val peaks : t -> (string * int) list
+val phases : t -> (string * float) list
+
+val to_json_fields : t -> string
+(** The record's contents as the JSON fragment
+    ["\"counters\": {...}, \"peaks\": {...}, \"phases\": {...}"] — spliced
+    into a larger object by {!Governor.report_json}. *)
+
+val json_string : string -> string
+(** JSON string literal with escaping (shared by the CLI emitters). *)

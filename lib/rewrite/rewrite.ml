@@ -1,8 +1,9 @@
 open Tgd_logic
+open Tgd_exec
 
 type outcome =
   | Complete
-  | Truncated of string
+  | Truncated of Governor.diagnostics
 
 type stats = {
   generated : int;
@@ -157,9 +158,16 @@ module Kept = struct
 
   (* Live CQs in insertion order. *)
   let survivors t = List.rev_map (fun e -> e.cq) (List.filter (fun e -> e.alive) t.all)
+
+  let counts t =
+    List.fold_left
+      (fun (live, retired) e -> if e.alive then (live + 1, retired) else (live, retired + 1))
+      (0, 0) t.all
 end
 
-let ucq ?(config = default_config) program0 q0 =
+let ucq ?(config = default_config) ?gov program0 q0 =
+  let gov = match gov with Some g -> g | None -> Governor.unlimited () in
+  let tele = Governor.telemetry gov in
   let program = Program.single_head_normalize program0 in
   let aux_preds =
     let original =
@@ -180,14 +188,23 @@ let ucq ?(config = default_config) program0 q0 =
   let kept = Kept.create () in
   let seen : (Cq.t, unit) Hashtbl.t = Hashtbl.create 256 in
   let queue : (int * entry) Queue.t = Queue.create () in
-  let outcome = ref Complete in
-  let stop reason = outcome := Truncated reason in
+  (* Mirror the process-wide containment counters into this run's governed
+     budget as a delta, so [containment.checks] limits apply per run. *)
+  let synced_checks = ref c0.Containment.checks in
+  let sync_containment () =
+    let checks = (Containment.stats ()).Containment.checks in
+    if checks > !synced_checks then begin
+      Governor.charge ~n:(checks - !synced_checks) gov Budget.key_containment_checks;
+      synced_checks := checks
+    end
+  in
   (* Install a candidate: dedup by canonical form, prune by containment. *)
   let add depth c =
     let c = Cq.canonical c in
     if List.length c.Cq.body <= config.max_body_atoms && not (Hashtbl.mem seen c) then begin
       Hashtbl.add seen c ();
       incr generated;
+      Governor.charge gov Budget.key_rewrite_cqs;
       let pre = Containment.precompute c in
       let arity = Cq.arity c in
       let bits = Fingerprint.pred_bits (Containment.fingerprint pre) in
@@ -213,34 +230,61 @@ let ucq ?(config = default_config) program0 q0 =
     end
   in
   add 0 q0;
-  (try
-     while not (Queue.is_empty queue) do
-       if !generated >= config.max_cqs then begin
-         stop (Printf.sprintf "budget: %d CQs generated" config.max_cqs);
-         raise Exit
-       end;
-       let depth, entry = Queue.pop queue in
-       (* A retired disjunct's expansions are covered by its subsumer. *)
-       if entry.alive then begin
-         incr explored;
-         if depth > !max_depth_seen then max_depth_seen := depth;
-         if depth >= config.max_depth then stop (Printf.sprintf "budget: depth %d" config.max_depth)
-         else begin
-           List.iter (add (depth + 1)) (rewrite_steps rule_index entry.cq);
-           List.iter (add (depth + 1)) (factorizations entry.cq)
-         end
-       end
-     done
-   with Exit -> ());
+  (* The expansion loop is governed at its head: the config's structural
+     limits latch a stop reason into the governor exactly like an external
+     budget, so truncation is reported uniformly. Because the queue is
+     breadth-first (depths are non-decreasing), halting at the first
+     over-deep entry expands the same frontier the old drain-but-don't-
+     expand loop did. *)
+  while Governor.live gov && not (Queue.is_empty queue) do
+    if !generated >= config.max_cqs then
+      Governor.stop gov
+        (Governor.Limit { counter = Budget.key_rewrite_cqs; limit = config.max_cqs });
+    sync_containment ();
+    Telemetry.gauge tele "rewrite.queue" (Queue.length queue);
+    if Governor.live gov then begin
+      let depth, entry = Queue.pop queue in
+      Governor.charge gov Budget.key_rewrite_expansions;
+      (* A retired disjunct's expansions are covered by its subsumer. *)
+      if entry.alive then begin
+        incr explored;
+        if depth > !max_depth_seen then max_depth_seen := depth;
+        Governor.gauge gov Budget.key_rewrite_depth depth;
+        if depth >= config.max_depth then
+          Governor.stop gov
+            (Governor.Limit { counter = Budget.key_rewrite_depth; limit = config.max_depth })
+        else begin
+          List.iter (add (depth + 1)) (rewrite_steps rule_index entry.cq);
+          List.iter (add (depth + 1)) (factorizations entry.cq)
+        end
+      end
+    end
+  done;
   let final =
     Kept.survivors kept
     |> List.filter (fun c -> not (mentions_aux_pred aux_preds c))
     |> Containment.minimize_ucq ?domains:config.domains
   in
+  sync_containment ();
   let c1 = Containment.stats () in
+  Telemetry.set_counter tele "rewrite.generated" !generated;
+  Telemetry.set_counter tele "rewrite.explored" !explored;
+  let outcome =
+    match Governor.stopped gov with
+    | None -> Complete
+    | Some _ ->
+      (* At truncation, record how much of the rewriting survived: the
+         kept/retired split of the subsumption set plus the minimized output
+         size, so the diagnostics say what the partial UCQ looks like. *)
+      let live, retired = Kept.counts kept in
+      Telemetry.set_counter tele "rewrite.kept" live;
+      Telemetry.set_counter tele "rewrite.retired" retired;
+      Telemetry.set_counter tele "rewrite.minimized" (List.length final);
+      Truncated (Option.get (Governor.diagnostics gov))
+  in
   {
     ucq = final;
-    outcome = !outcome;
+    outcome;
     stats =
       {
         generated = !generated;
@@ -253,10 +297,18 @@ let ucq ?(config = default_config) program0 q0 =
       };
   }
 
-let ucq_of_union ?config program qs =
-  let results = List.map (ucq ?config program) qs in
+let ucq_of_union ?config ?gov program qs =
+  (* Bracket the containment counters around the WHOLE union, not per
+     disjunct: the final cross-disjunct [minimize_ucq] below also burns
+     containment checks, and summing the per-result deltas used to lose
+     them — consecutive runs then reported stale, non-reproducible counts.
+     The per-run delta also keeps telemetry independent of whatever the
+     process-wide counters accumulated before this invocation. *)
+  let c0 = Containment.stats () in
+  let results = List.map (ucq ?config ?gov program) qs in
   let domains = Option.bind config (fun c -> c.domains) in
   let combined = Containment.minimize_ucq ?domains (List.concat_map (fun r -> r.ucq) results) in
+  let c1 = Containment.stats () in
   let outcome =
     List.fold_left
       (fun acc r -> match acc with Truncated _ -> acc | Complete -> r.outcome)
@@ -273,18 +325,15 @@ let ucq_of_union ?config program qs =
           generated = acc.generated + r.stats.generated;
           explored = acc.explored + r.stats.explored;
           max_depth = max acc.max_depth r.stats.max_depth;
-          containment_checks = acc.containment_checks + r.stats.containment_checks;
-          containment_pruned = acc.containment_pruned + r.stats.containment_pruned;
-          hom_searches = acc.hom_searches + r.stats.hom_searches;
         })
       {
         generated = 0;
         explored = 0;
         kept;
         max_depth = 0;
-        containment_checks = 0;
-        containment_pruned = 0;
-        hom_searches = 0;
+        containment_checks = c1.Containment.checks - c0.Containment.checks;
+        containment_pruned = c1.Containment.pruned - c0.Containment.pruned;
+        hom_searches = c1.Containment.hom_searches - c0.Containment.hom_searches;
       }
       results
   in

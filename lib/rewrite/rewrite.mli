@@ -12,15 +12,21 @@
     Generated CQs are kept modulo containment: a new CQ subsumed by a kept
     one is dropped, and kept CQs subsumed by a new more general one are
     retired. On FO-rewritable inputs the exploration reaches a fixpoint and
-    the result is a sound and complete UCQ rewriting; otherwise a budget
-    stops it and the result is sound but possibly incomplete (reported in
-    [outcome]). *)
+    the result is a sound and complete UCQ rewriting; otherwise the run is
+    stopped — by the config's structural limits, or by the budget, deadline
+    or cancellation of a supplied {!Tgd_exec.Governor} — and the result is
+    sound but possibly incomplete. Truncation is reported as typed
+    diagnostics: the stop reason plus the run's counters, including the
+    kept/retired disjunct split at the moment the exploration stopped. *)
 
 open Tgd_logic
 
 type outcome =
   | Complete  (** fixpoint reached: the UCQ is a full rewriting *)
-  | Truncated of string  (** which budget stopped the exploration *)
+  | Truncated of Tgd_exec.Governor.diagnostics
+      (** which budget stopped the exploration, and how far it got
+          (see [rewrite.kept] / [rewrite.retired] / [rewrite.minimized]
+          counters) *)
 
 type stats = {
   generated : int;  (** candidate CQs produced *)
@@ -52,13 +58,23 @@ type config = {
 
 val default_config : config
 
-val ucq : ?config:config -> Program.t -> Cq.t -> result
+val ucq : ?config:config -> ?gov:Tgd_exec.Governor.t -> Program.t -> Cq.t -> result
 (** Rewrite a CQ. Multi-head rules are single-head-normalized first;
     disjuncts mentioning auxiliary predicates are removed from the final
     UCQ (they cannot match the extensional database). The input CQ is always
-    a disjunct of the result. *)
+    a disjunct of the result.
 
-val ucq_of_union : ?config:config -> Program.t -> Cq.ucq -> result
+    A supplied governor is polled at the expansion-loop head and charged
+    with [rewrite.cqs] / [rewrite.expansions] / [rewrite.depth] /
+    [containment.checks]; its deadline and cancellation apply. Without one,
+    only the config's structural limits govern the run (as before), and
+    truncation diagnostics come from an internal unlimited governor. *)
+
+val ucq_of_union : ?config:config -> ?gov:Tgd_exec.Governor.t -> Program.t -> Cq.ucq -> result
 (** Rewrite every disjunct and union the results (Definition 1 speaks of
-    UCQs; a UCQ rewriting is the union of the per-CQ rewritings). *)
+    UCQs; a UCQ rewriting is the union of the per-CQ rewritings). The
+    containment-counter stats are bracketed around the whole union — the
+    final cross-disjunct minimization is attributed to this run, and the
+    numbers are deltas, so consecutive invocations in one process never
+    accumulate stale counts. *)
 

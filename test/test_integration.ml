@@ -14,7 +14,7 @@ let tuples_equal l1 l2 = List.length l1 = List.length l2 && List.for_all2 Tuple.
 let certain_by_rewriting p inst q =
   let r = Tgd_rewrite.Rewrite.ucq p q in
   match r.Tgd_rewrite.Rewrite.outcome with
-  | Tgd_rewrite.Rewrite.Truncated why -> Error why
+  | Tgd_rewrite.Rewrite.Truncated d -> Error (Tgd_exec.Governor.diag_summary d)
   | Tgd_rewrite.Rewrite.Complete ->
     Ok (Eval.ucq inst r.Tgd_rewrite.Rewrite.ucq |> List.filter (fun t -> not (Tuple.has_null t)))
 

@@ -178,8 +178,9 @@ let test_rewrite_depth_budget () =
     Rewrite.ucq ~config Tgd_core.Paper_examples.example2 Tgd_core.Paper_examples.example2_query
   in
   (match r.Rewrite.outcome with
-  | Rewrite.Truncated reason ->
-    Alcotest.(check bool) "depth mentioned" true (String.length reason > 0)
+  | Rewrite.Truncated d ->
+    Alcotest.(check bool) "depth mentioned" true
+      (String.length (Tgd_exec.Governor.diag_summary d) > 0)
   | Rewrite.Complete -> Alcotest.fail "expected truncation");
   Alcotest.(check bool) "did not exceed depth" true (r.Rewrite.stats.Rewrite.max_depth <= 2)
 
