@@ -742,6 +742,171 @@ let e15 () =
   row "  wrote BENCH_telemetry.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E16: the serving layer — prepared-query cache under a Zipf replay.   *)
+
+let e16 () =
+  section "E16 (serve): prepared-query cache under a Zipf workload replay";
+  let module P = Tgd_serve.Protocol in
+  let module Server = Tgd_serve.Server in
+  let srv = Server.create () in
+  let tel = Server.telemetry srv in
+  (* Register the university ontology and generated data directly through the
+     registry (the JSONL path is exercised by the test suite; the bench
+     measures prepare/execute, not parsing). *)
+  let data = Tgd_gen.University.generate_data (Tgd_gen.Rng.create 0xE16) ~scale:300 in
+  ignore
+    (Tgd_serve.Registry.register (Server.registry srv) ~name:"uni" ~facts:data
+       Tgd_gen.University.ontology);
+  let queries = Array.of_list Tgd_gen.University.queries in
+  let n_queries = Array.length queries in
+  (* α-rename per tag: the replay must hit the cache through the canonical
+     key, never through string identity of the submitted query. *)
+  let qstr ~tag q =
+    let renaming =
+      Subst.of_list
+        (Symbol.Set.elements (Cq.vars q)
+        |> List.map (fun x -> (x, Term.var (Printf.sprintf "%s_%d" (Symbol.name x) tag))))
+    in
+    let q' =
+      Cq.make ~name:q.Cq.name
+        ~answer:(Subst.apply_terms renaming q.Cq.answer)
+        ~body:(Subst.apply_atoms renaming q.Cq.body)
+    in
+    Format.asprintf "%a" Tgd_parser.Printer.query q'
+  in
+  let execute s =
+    match Server.handle srv (P.Execute { ontology = "uni"; query = s; budget = None }) with
+    | Ok _ -> ()
+    | Error (kind, msg) -> failwith (kind ^ ": " ^ msg)
+  in
+  let prepare s =
+    match Server.handle srv (P.Prepare { ontology = "uni"; query = s }) with
+    | Ok _ -> ()
+    | Error (kind, msg) -> failwith (kind ^ ": " ^ msg)
+  in
+  (* Cold phase: the first preparation of each distinct query pays the full
+     UCQ rewriting + plan compilation; a repeated (α-renamed) preparation is
+     a canonical-key cache hit. The speedup of the latter over the former is
+     the value of the prepared-query cache — evaluation cost, which both
+     paths share, is measured separately by the execute replay below. *)
+  let median l =
+    let s = List.sort compare l in
+    List.nth s (List.length s / 2)
+  in
+  let cold =
+    Array.to_list (Array.map (fun q -> snd (time_once (fun () -> prepare (qstr ~tag:0 q)))) queries)
+  in
+  let cold_median = median cold in
+  let warm_prepare =
+    List.concat_map
+      (fun tag ->
+        Array.to_list
+          (Array.map (fun q -> snd (time_once (fun () -> prepare (qstr ~tag q)))) queries))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let warm_prepare_median = median warm_prepare in
+  (* Zipf(s=1) replay over the prepared server. *)
+  let weights = Array.init n_queries (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let total_w = Array.fold_left ( +. ) 0.0 weights in
+  let rng = Tgd_gen.Rng.create 0x5317 in
+  let sample () =
+    let x = Tgd_gen.Rng.float rng *. total_w in
+    let rec go i acc =
+      if i = n_queries - 1 then i
+      else if acc +. weights.(i) >= x then i
+      else go (i + 1) (acc +. weights.(i))
+    in
+    go 0 0.0
+  in
+  let n_requests = 400 in
+  let lats = Array.make n_requests 0.0 in
+  let hits0 = Tgd_exec.Telemetry.get tel "serve.cache.hits" in
+  let cqs0 = Tgd_exec.Telemetry.get tel "rewrite.cqs" in
+  let replay_s =
+    snd
+      (time_once (fun () ->
+           for k = 0 to n_requests - 1 do
+             let s = qstr ~tag:(1 + (k mod 7)) queries.(sample ()) in
+             let t = Unix.gettimeofday () in
+             execute s;
+             lats.(k) <- Unix.gettimeofday () -. t
+           done))
+  in
+  Array.sort compare lats;
+  let pct p = lats.(min (n_requests - 1) (int_of_float (p *. float_of_int n_requests))) in
+  let p50 = pct 0.5 and p95 = pct 0.95 in
+  let throughput = float_of_int n_requests /. replay_s in
+  let warm_hits = Tgd_exec.Telemetry.get tel "serve.cache.hits" - hits0 in
+  let warm_cqs = Tgd_exec.Telemetry.get tel "rewrite.cqs" - cqs0 in
+  let speedup =
+    cold_median /. (if warm_prepare_median > 0.0 then warm_prepare_median else epsilon_float)
+  in
+  row "  cold prepare median: %.2fms   warm prepare median: %.4fms  (%.0fx)\n"
+    (cold_median *. 1000.) (warm_prepare_median *. 1000.) speedup;
+  row "  warm execute p50: %.3fms  p95: %.3fms\n" (p50 *. 1000.) (p95 *. 1000.);
+  row "  replay: %d requests in %.1fms  (%.0f req/s, %d cache hits)\n" n_requests
+    (replay_s *. 1000.) throughput warm_hits;
+  check "every replay request hits the prepared cache" ~expected:"yes"
+    ~got:(if warm_hits = n_requests then "yes" else "no");
+  check "warm executes never re-enter the rewriter" ~expected:"yes"
+    ~got:(if warm_cqs = 0 then "yes" else "no");
+  check "repeated queries >= 5x faster than cold prepare" ~expected:"yes"
+    ~got:(if speedup >= 5.0 then "yes" else "no");
+  (* Concurrent replay: 4 domains against the shared server state. *)
+  let per_domain = 100 in
+  let failures = Atomic.make 0 in
+  let conc_s =
+    snd
+      (time_once (fun () ->
+           let domains =
+             Array.init 4 (fun d ->
+                 Domain.spawn (fun () ->
+                     let rng = Tgd_gen.Rng.create (0xC0 + d) in
+                     let sample () =
+                       let x = Tgd_gen.Rng.float rng *. total_w in
+                       let rec go i acc =
+                         if i = n_queries - 1 then i
+                         else if acc +. weights.(i) >= x then i
+                         else go (i + 1) (acc +. weights.(i))
+                       in
+                       go 0 0.0
+                     in
+                     for k = 1 to per_domain do
+                       let s = qstr ~tag:(8 + (k mod 5)) queries.(sample ()) in
+                       try execute s with _ -> ignore (Atomic.fetch_and_add failures 1)
+                     done))
+           in
+           Array.iter Domain.join domains))
+  in
+  let conc_throughput = float_of_int (4 * per_domain) /. conc_s in
+  row "  4-domain replay: %d requests in %.1fms (%.0f req/s, %d failures)\n" (4 * per_domain)
+    (conc_s *. 1000.) conc_throughput (Atomic.get failures);
+  check "concurrent replay completes without failures" ~expected:"yes"
+    ~got:(if Atomic.get failures = 0 then "yes" else "no");
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"bench_serve/v1\",\n\
+    \  \"workload\": { \"scale\": 300, \"distinct_queries\": %d, \"requests\": %d, \"zipf_s\": 1.0 },\n\
+    \  \"cold_prepare_median_s\": %.6f,\n\
+    \  \"warm_prepare_median_s\": %.6f,\n\
+    \  \"warm_p50_s\": %.6f,\n\
+    \  \"warm_p95_s\": %.6f,\n\
+    \  \"warm_speedup\": %.1f,\n\
+    \  \"throughput_rps\": %.1f,\n\
+    \  \"throughput_rps_4domains\": %.1f,\n\
+    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d },\n\
+    \  \"rewrite_cqs_during_replay\": %d\n\
+     }\n"
+    n_queries n_requests cold_median warm_prepare_median p50 p95 speedup throughput conc_throughput
+    (Tgd_exec.Telemetry.get tel "serve.cache.hits")
+    (Tgd_exec.Telemetry.get tel "serve.cache.misses")
+    (Tgd_exec.Telemetry.get tel "serve.cache.evictions")
+    warm_cqs;
+  close_out oc;
+  row "  wrote BENCH_serve.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
@@ -861,5 +1026,6 @@ let () =
   e13 ();
   e14 ();
   e15 ();
+  e16 ();
   if not quick then run_bechamel ();
   Printf.printf "\nAll experiments done.\n"

@@ -433,6 +433,60 @@ let approx_cmd =
     Term.(const run $ path)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let run workers queue_bound cache_capacity budget deadline socket =
+    let base_budget =
+      match (budget, deadline) with
+      | None, None -> None (* keep the server's own default *)
+      | _ -> Some (budget_of_flags budget deadline)
+    in
+    let server = Tgd_serve.Server.create ~cache_capacity ?base_budget () in
+    match socket with
+    | Some path ->
+      Format.eprintf "obda serve: listening on unix socket %s@." path;
+      Tgd_serve.Server.run_unix_socket ?workers ~queue_bound server ~path
+    | None -> ignore (Tgd_serve.Server.run ?workers ~queue_bound server stdin stdout)
+  in
+  let workers =
+    Arg.(
+      value & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing prepare/execute requests (default: one per core).")
+  in
+  let queue_bound =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Admission bound on queued requests; beyond it, requests are shed with a typed \
+             $(b,overloaded) response instead of queueing without limit.")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Prepared-query LRU cache capacity (canonical CQ + ontology epoch entries).")
+  in
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix-domain socket at PATH (connections accepted sequentially; state \
+             persists across connections). Default: JSONL over stdin/stdout.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent query server: register ontologies and data, then prepare/execute \
+          conjunctive queries over a prepared-rewriting cache, speaking a JSONL protocol \
+          (register-ontology, load-csv, prepare, execute, stats, ping, shutdown).")
+    Term.(
+      const run $ workers $ queue_bound $ cache_capacity $ budget_arg $ deadline_arg $ socket)
+
+(* ------------------------------------------------------------------ *)
 (* examples                                                            *)
 
 let examples_cmd =
@@ -457,7 +511,7 @@ let main =
   Cmd.group info
     [
       classify_cmd; graph_cmd; rewrite_cmd; answer_cmd; chase_cmd; check_cmd; approx_cmd;
-      patterns_cmd; examples_cmd;
+      patterns_cmd; examples_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,8 +1,12 @@
 (** Loading and saving instances as CSV — the pragmatic bridge to real
-    relational sources. One line per fact: the predicate name followed by
+    relational sources. One record per fact: the predicate name followed by
     the argument values, comma-separated. Values may be double-quoted (with
-    [""] escaping a quote); unquoted values are trimmed. Lines that are
-    empty or start with [#] are skipped.
+    [""] escaping a quote, and literal newlines allowed inside quotes);
+    unquoted values are trimmed, quoted ones kept verbatim. Records that are
+    empty or start with [#] are skipped. {!save_string} quotes exactly the
+    fields that would not read back as themselves (separators, quotes,
+    newlines, leading/trailing whitespace, a leading [#]), so
+    write-then-read is the identity on constant-valued instances.
 
     {v
       takes_course,sam,db101
@@ -12,8 +16,8 @@
 open Tgd_logic
 
 val parse_line : string -> (Symbol.t * Tuple.t) option
-(** [None] for blank/comment lines. Raises [Failure] on an unterminated
-    quote. *)
+(** Parse a single record (no embedded newlines). [None] for blank/comment
+    records. Raises [Failure] on an unterminated quote. *)
 
 val load_string : string -> (Instance.t, string) result
 (** Errors mention the offending 1-based line. *)

@@ -63,6 +63,9 @@ let of_atoms atoms =
   List.iter (fun a -> ignore (add_ground_atom inst a)) atoms;
   inst
 
+let build_indexes inst =
+  Symbol.Table.iter (fun _ rel -> Relation.build_all_indexes rel) inst.relations
+
 let pp ppf inst =
   let pp_fact ppf (pred, t) = Format.fprintf ppf "%a%a" Symbol.pp pred Tuple.pp t in
   Format.fprintf ppf "@[<v>%a@]"

@@ -28,4 +28,11 @@ val to_atoms : t -> Atom.t list
     by homomorphism checks). *)
 
 val of_atoms : Atom.t list -> t
+
+val build_indexes : t -> unit
+(** Pre-build every per-column index of every relation ("seal" the instance
+    for concurrent reads): once no more facts are added, evaluation from
+    any number of domains is race-free because {!Relation.lookup} no longer
+    builds indexes lazily. *)
+
 val pp : Format.formatter -> t -> unit

@@ -45,6 +45,11 @@ let build_index r pos =
   r.indexes.(pos) <- Some idx;
   idx
 
+let build_all_indexes r =
+  for pos = 0 to r.arity - 1 do
+    match r.indexes.(pos) with Some _ -> () | None -> ignore (build_index r pos)
+  done
+
 let lookup r ~pos v =
   if pos < 0 || pos >= r.arity then invalid_arg "Relation.lookup: position out of range";
   let idx = match r.indexes.(pos) with Some idx -> idx | None -> build_index r pos in

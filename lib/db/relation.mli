@@ -19,3 +19,8 @@ val to_list : t -> Tuple.t list
 val lookup : t -> pos:int -> Value.t -> Tuple.t list
 (** Tuples whose 0-based column [pos] holds the given value; backed by a
     hash index built on first use for that column. *)
+
+val build_all_indexes : t -> unit
+(** Force every column index to exist. After this, a relation that is no
+    longer inserted into can serve {!lookup} from any number of domains
+    concurrently — nothing on the read path mutates. *)

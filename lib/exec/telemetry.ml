@@ -1,7 +1,13 @@
+(* Counters and peak gauges live in [int Atomic.t] cells so that any number
+   of domains can charge one record concurrently without losing updates; the
+   mutex guards only the key->cell tables (lookup/insert) and the float-
+   valued phase table. The hot path is: short critical section to fetch the
+   cell, then a lock-free atomic update. *)
+
 type t = {
   lock : Mutex.t;
-  counters : (string, int) Hashtbl.t;
-  peaks : (string, int) Hashtbl.t;
+  counters : (string, int Atomic.t) Hashtbl.t;
+  peaks : (string, int Atomic.t) Hashtbl.t;
   phases : (string, float) Hashtbl.t;
 }
 
@@ -23,22 +29,37 @@ let reset t =
       Hashtbl.reset t.peaks;
       Hashtbl.reset t.phases)
 
-let add t key n =
+(* Find or create the atomic cell for a key. Writers that cached a cell
+   across a concurrent [reset] would update a dropped cell; reset is a
+   run-boundary operation and must not race with writers. *)
+let cell t tbl key =
   locked t (fun () ->
-      let v = n + Option.value ~default:0 (Hashtbl.find_opt t.counters key) in
-      Hashtbl.replace t.counters key v;
-      v)
+      match Hashtbl.find_opt tbl key with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add tbl key c;
+        c)
 
-let get t key = locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.counters key))
-let set_counter t key v = locked t (fun () -> Hashtbl.replace t.counters key v)
+let add t key n = Atomic.fetch_and_add (cell t t.counters key) n + n
+
+let get t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters key with None -> 0 | Some c -> Atomic.get c)
+
+let set_counter t key v = Atomic.set (cell t t.counters key) v
 
 let gauge t key v =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.peaks key with
-      | Some p when p >= v -> ()
-      | _ -> Hashtbl.replace t.peaks key v)
+  let c = cell t t.peaks key in
+  let rec raise_to () =
+    let cur = Atomic.get c in
+    if cur < v && not (Atomic.compare_and_set c cur v) then raise_to ()
+  in
+  raise_to ()
 
-let peak t key = locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.peaks key))
+let peak t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.peaks key with None -> 0 | Some c -> Atomic.get c)
 
 let add_span t key s =
   locked t (fun () ->
@@ -49,11 +70,25 @@ let time t key f =
   let t0 = Unix.gettimeofday () in
   Fun.protect ~finally:(fun () -> add_span t key (Unix.gettimeofday () -. t0)) f
 
-let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+let sorted xs = List.sort compare xs
 
-let counters t = locked t (fun () -> sorted t.counters)
-let peaks t = locked t (fun () -> sorted t.peaks)
-let phases t = locked t (fun () -> sorted t.phases)
+let counters t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) t.counters [] |> sorted)
+
+let peaks t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) t.peaks [] |> sorted)
+
+let phases t =
+  locked t (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.phases [] |> sorted)
+
+let merge_into ~into t =
+  (* Snapshot the source first so the two locks are never held together. *)
+  let cs = counters t and ps = peaks t and hs = phases t in
+  List.iter (fun (k, v) -> ignore (add into k v)) cs;
+  List.iter (fun (k, v) -> gauge into k v) ps;
+  List.iter (fun (k, v) -> add_span into k v) hs
 
 let json_string s =
   let buf = Buffer.create (String.length s + 2) in

@@ -2,9 +2,12 @@
     timings, collected by the engines while a {!Governor} supervises the
     run, and serializable as JSON.
 
-    A record is cheap to mutate (a mutex-guarded hash table per kind — the
-    chase and rewrite loops charge coarse-grained events, not per-tuple
-    work) and is safe to share across domains. *)
+    A record is safe to share across domains: counters and peak gauges are
+    [Atomic.t] cells (adds use [fetch_and_add], peaks a CAS-max loop), so
+    concurrent workers charging one sink never lose updates — totals are
+    exact. The record's mutex guards only the key->cell tables and the
+    float-valued phase table. {!reset} is a run-boundary operation and must
+    not race with writers. *)
 
 type t
 
@@ -53,6 +56,13 @@ val counters : t -> (string * int) list
 
 val peaks : t -> (string * int) list
 val phases : t -> (string * float) list
+
+val merge_into : into:t -> t -> unit
+(** Fold one record into an aggregate sink: counters and phases are added,
+    peaks are maxed. Used by the serving layer to accumulate per-request
+    telemetry into a server-wide record; safe to call concurrently from
+    several domains (the source is snapshotted first, so the two records'
+    locks are never held together). *)
 
 val to_json_fields : t -> string
 (** The record's contents as the JSON fragment

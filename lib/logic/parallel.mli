@@ -1,9 +1,9 @@
 (** A minimal Domain-based worker pool (OCaml 5).
 
     Used to parallelize embarrassingly-parallel loops (per-disjunct UCQ
-    subsumption tests). Tasks must be pure up to [Atomic] side effects: in
-    particular they must not intern fresh symbols, whose global tables are
-    not thread-safe. *)
+    subsumption tests). Tasks must be pure up to [Atomic] side effects and
+    {!Symbol} interning (whose global tables are mutex-guarded); they must
+    not mutate other shared structures. *)
 
 val domain_count : unit -> int
 (** Worker count: the [TGDLIB_DOMAINS] environment variable if set to a

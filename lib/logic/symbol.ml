@@ -1,10 +1,17 @@
 type t = int
 
+(* Interning is global to the process and, since the serving layer runs
+   parsing and rewriting on worker domains, guarded by a mutex. [name] reads
+   stay lock-free: entries are written into the array before the arrays/
+   count are published, and a symbol value can only reach another domain
+   through a synchronizing handoff (queue, channel), which orders the
+   publication before the read. *)
+let lock = Mutex.create ()
 let table : (string, int) Hashtbl.t = Hashtbl.create 1024
 let names = ref (Array.make 1024 "")
 let count = ref 0
 
-let intern s =
+let intern_unlocked s =
   match Hashtbl.find_opt table s with
   | Some i -> i
   | None ->
@@ -19,14 +26,26 @@ let intern s =
     Hashtbl.add table s i;
     i
 
+let intern s =
+  Mutex.lock lock;
+  let i = intern_unlocked s in
+  Mutex.unlock lock;
+  i
+
 let name i = !names.(i)
 
 let fresh_counter = ref 0
 
-let rec fresh base =
-  incr fresh_counter;
-  let s = Printf.sprintf "%s#%d" base !fresh_counter in
-  if Hashtbl.mem table s then fresh base else intern s
+let fresh base =
+  Mutex.lock lock;
+  let rec go () =
+    incr fresh_counter;
+    let s = Printf.sprintf "%s#%d" base !fresh_counter in
+    if Hashtbl.mem table s then go () else intern_unlocked s
+  in
+  let i = go () in
+  Mutex.unlock lock;
+  i
 
 let equal = Int.equal
 let compare = Int.compare

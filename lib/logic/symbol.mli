@@ -2,7 +2,10 @@
 
     All predicate, variable and constant names are interned into integers so
     that comparisons and hashing along the hot paths (unification, joins,
-    graph construction) are O(1). Interning is global to the process. *)
+    graph construction) are O(1). Interning is global to the process and
+    thread-safe: {!intern} and {!fresh} take a process-wide mutex, so worker
+    domains (the serving layer's scheduler, {!Parallel} tasks) may parse and
+    rewrite concurrently. *)
 
 type t = private int
 

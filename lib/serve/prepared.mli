@@ -1,0 +1,48 @@
+(** The prepared-query store: an LRU cache from (ontology name, epoch,
+    canonical CQ key) to the query's computed UCQ rewriting and compiled
+    eval plans.
+
+    Soundness of the key (see DESIGN.md "Serving layer"): a UCQ rewriting
+    depends only on the ontology and the query — never on the data — so
+    for a fixed ontology epoch the rewriting cached under a canonical CQ
+    key answers every α-equivalent resubmission. Data and ontology updates
+    bump the registry epoch, which changes the key, so stale entries can
+    never be hit; {!purge} additionally frees them eagerly.
+
+    All operations are safe from any domain (one mutex around the
+    hash-table + intrusive LRU list); hit/miss/eviction counts are charged
+    to the telemetry sink given at creation ([serve.cache.hits],
+    [serve.cache.misses], [serve.cache.evictions]). *)
+
+open Tgd_logic
+
+type entry = {
+  ontology : string;
+  epoch : int;
+  canon : Canon.t;
+  ucq : Cq.ucq;  (** the UCQ rewriting of the canonical CQ *)
+  complete : bool;  (** whether the rewriting reached its fixpoint *)
+  plans : Tgd_db.Plan.t list;  (** one static join plan per disjunct *)
+  prepare_s : float;  (** wall-clock cost of the original preparation *)
+}
+
+type t
+
+val create : ?capacity:int -> telemetry:Tgd_exec.Telemetry.t -> unit -> t
+(** [capacity] defaults to 1024 entries; it must be positive. *)
+
+val find : t -> ontology:string -> epoch:int -> canon:Canon.t -> entry option
+(** Charges [serve.cache.hits] or [serve.cache.misses], and refreshes the
+    entry's recency on a hit. *)
+
+val add : t -> entry -> unit
+(** Insert (or refresh) an entry, evicting the least-recently-used one when
+    over capacity (charging [serve.cache.evictions]). *)
+
+val purge : t -> ontology:string -> keep_epoch:int -> int
+(** Drop every entry of [ontology] with an epoch below [keep_epoch];
+    returns how many were dropped. Purged entries are not counted as
+    evictions. *)
+
+val length : t -> int
+val capacity : t -> int

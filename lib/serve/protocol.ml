@@ -1,0 +1,86 @@
+type source =
+  | Inline of string
+  | File of string
+
+type request =
+  | Register_ontology of {
+      name : string;
+      source : source;
+    }
+  | Load_csv of {
+      name : string;
+      source : source;
+    }
+  | Prepare of {
+      ontology : string;
+      query : string;
+    }
+  | Execute of {
+      ontology : string;
+      query : string;
+      budget : string option;
+    }
+  | Stats
+  | Ping
+  | Shutdown
+
+type envelope = {
+  id : Json.t;
+  request : request;
+}
+
+let field_id j = Option.value ~default:Json.Null (Json.member "id" j)
+
+let source_of j =
+  match Json.string_field "source" j, Json.string_field "file" j with
+  | Some s, None -> Ok (Inline s)
+  | None, Some f -> Ok (File f)
+  | Some _, Some _ -> Error "both \"source\" and \"file\" given"
+  | None, None -> Error "missing \"source\" or \"file\""
+
+let required name j =
+  match Json.string_field name j with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing string field %S" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let request_of j =
+  let* op = required "op" j in
+  match op with
+  | "register-ontology" ->
+    let* name = required "name" j in
+    let* source = source_of j in
+    Ok (Register_ontology { name; source })
+  | "load-csv" ->
+    let* name = required "name" j in
+    let* source = source_of j in
+    Ok (Load_csv { name; source })
+  | "prepare" ->
+    let* ontology = required "ontology" j in
+    let* query = required "query" j in
+    Ok (Prepare { ontology; query })
+  | "execute" ->
+    let* ontology = required "ontology" j in
+    let* query = required "query" j in
+    Ok (Execute { ontology; query; budget = Json.string_field "budget" j })
+  | "stats" -> Ok Stats
+  | "ping" -> Ok Ping
+  | "shutdown" -> Ok Shutdown
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+let parse line =
+  match Json.parse line with
+  | Error msg -> Error (Json.Null, "bad JSON: " ^ msg)
+  | Ok j -> (
+    let id = field_id j in
+    match request_of j with
+    | Ok request -> Ok { id; request }
+    | Error msg -> Error (id, msg))
+
+let response_ok ~id fields = Json.to_string (Json.Obj (("id", id) :: ("ok", Json.Bool true) :: fields))
+
+let response_error ~id ~kind msg =
+  Json.to_string
+    (Json.Obj
+       [ ("id", id); ("ok", Json.Bool false); ("kind", Json.String kind); ("error", Json.String msg) ])

@@ -1,0 +1,62 @@
+(** The JSONL wire protocol of [obda serve].
+
+    One request per line on the way in, one response per line on the way
+    out. Every request is a JSON object with an ["op"] field and an
+    optional ["id"] (echoed verbatim in the response, so clients may
+    pipeline: responses to concurrently executing requests can arrive out
+    of order). Ontology/CSV payloads are passed inline (["source"]) or by
+    path (["file"]).
+
+    {v
+      {"op":"register-ontology","id":1,"name":"uni","source":"person(X) -> ..."}
+      {"op":"load-csv","id":2,"name":"uni","file":"data/uni.csv"}
+      {"op":"prepare","id":3,"ontology":"uni","query":"q(X) :- person(X)."}
+      {"op":"execute","id":4,"ontology":"uni","query":"q(X) :- person(X).","budget":"deadline=0.5"}
+      {"op":"stats","id":5}
+      {"op":"shutdown","id":6}
+    v}
+
+    Responses: [{"id":...,"ok":true,...}] or
+    [{"id":...,"ok":false,"kind":"overloaded"|"bad_request"|"parse_error"|
+    "unknown_ontology"|"internal","error":"..."}]. *)
+
+type source =
+  | Inline of string
+  | File of string
+
+type request =
+  | Register_ontology of {
+      name : string;
+      source : source;
+    }
+  | Load_csv of {
+      name : string;
+      source : source;
+    }
+  | Prepare of {
+      ontology : string;
+      query : string;
+    }
+  | Execute of {
+      ontology : string;
+      query : string;
+      budget : string option;
+    }
+  | Stats
+  | Ping
+  | Shutdown
+
+type envelope = {
+  id : Json.t;  (** [Json.Null] when the client sent none *)
+  request : request;
+}
+
+val parse : string -> (envelope, Json.t * string) result
+(** Parse one request line. The error carries the request id when one could
+    be recovered (so even malformed requests get an addressed response). *)
+
+val response_ok : id:Json.t -> (string * Json.t) list -> string
+(** One JSONL line (no trailing newline): [{"id":..., "ok":true, fields}]. *)
+
+val response_error : id:Json.t -> kind:string -> string -> string
+(** One JSONL line: [{"id":..., "ok":false, "kind":..., "error":...}]. *)

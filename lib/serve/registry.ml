@@ -1,0 +1,69 @@
+open Tgd_logic
+
+type entry = {
+  name : string;
+  epoch : int;
+  program : Program.t;
+  instance : Tgd_db.Instance.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  (* Highest epoch ever used per name: survives re-registration so epochs
+     stay monotone over the registry's lifetime. *)
+  last_epoch : (string, int) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); entries = Hashtbl.create 8; last_epoch = Hashtbl.create 8 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let next_epoch t name =
+  let e = 1 + Option.value ~default:0 (Hashtbl.find_opt t.last_epoch name) in
+  Hashtbl.replace t.last_epoch name e;
+  e
+
+let install t name program instance =
+  Tgd_db.Instance.build_indexes instance;
+  locked t (fun () ->
+      let entry = { name; epoch = next_epoch t name; program; instance } in
+      Hashtbl.replace t.entries name entry;
+      entry)
+
+let register t ~name ?facts program =
+  let instance =
+    match facts with
+    | None -> Tgd_db.Instance.create ()
+    | Some inst -> Tgd_db.Instance.copy inst
+  in
+  install t name program instance
+
+let find t name = locked t (fun () -> Hashtbl.find_opt t.entries name)
+
+let merge_csv t ~name load =
+  match find t name with
+  | None -> Error (Printf.sprintf "unknown ontology %S" name)
+  | Some entry -> (
+    match load () with
+    | Error msg -> Error msg
+    | Ok extra ->
+      (* Copy-on-write: in-flight readers keep the old sealed instance. *)
+      let merged = Tgd_db.Instance.copy entry.instance in
+      Tgd_db.Instance.iter_facts
+        (fun (pred, tup) -> ignore (Tgd_db.Instance.add_fact merged pred tup))
+        extra;
+      Ok (install t name entry.program merged))
+
+let load_csv_string t ~name src = merge_csv t ~name (fun () -> Tgd_db.Csv_io.load_string src)
+let load_csv_file t ~name path = merge_csv t ~name (fun () -> Tgd_db.Csv_io.load_file path)
+
+let list t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name e acc ->
+          (name, e.epoch, Program.size e.program, Tgd_db.Instance.cardinality e.instance) :: acc)
+        t.entries [])
+  |> List.sort compare

@@ -1,0 +1,45 @@
+(** Named (ontology, instance) pairs with monotone epochs — the server's
+    mutable root state.
+
+    Every mutation (registering or replacing an ontology, merging CSV
+    facts) produces a {e new} immutable entry with a bumped epoch and swaps
+    it in under the registry lock; the instance inside an entry is sealed
+    ({!Tgd_db.Instance.build_indexes}) and never mutated afterwards, so any
+    number of worker domains can evaluate against a snapshotted entry while
+    the control loop installs a successor. Prepared-query cache keys embed
+    the epoch, so a bump invalidates every dependent cached artifact
+    without any cross-structure bookkeeping.
+
+    Epochs are monotone per name for the lifetime of the registry —
+    re-registering a name continues its epoch sequence rather than
+    restarting it, so a cache entry can never be resurrected by a
+    drop/re-add cycle. *)
+
+open Tgd_logic
+
+type entry = {
+  name : string;
+  epoch : int;  (** monotone per name; bumped by every mutation *)
+  program : Program.t;
+  instance : Tgd_db.Instance.t;  (** sealed: safe for concurrent readers *)
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> ?facts:Tgd_db.Instance.t -> Program.t -> entry
+(** Install (or replace) an ontology under [name]. The optional initial
+    facts are copied, sealed and owned by the entry. *)
+
+val load_csv_string : t -> name:string -> string -> (entry, string) result
+(** Merge CSV facts into [name]'s instance (copy-on-write: readers of the
+    previous entry are unaffected) and bump the epoch. *)
+
+val load_csv_file : t -> name:string -> string -> (entry, string) result
+
+val find : t -> string -> entry option
+(** Snapshot of the current entry; stable even while mutations proceed. *)
+
+val list : t -> (string * int * int * int) list
+(** [(name, epoch, rules, facts)] per registered ontology, sorted. *)

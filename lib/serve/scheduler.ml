@@ -1,0 +1,112 @@
+type reject =
+  [ `Overloaded of int
+  | `Closed ]
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  bound : int;
+  mutable closed : bool;
+  mutable running : int;
+  mutable domains : unit Domain.t list;
+  telemetry : Tgd_exec.Telemetry.t;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* closed and drained *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      t.running <- t.running + 1;
+      Mutex.unlock t.lock;
+      (try job ()
+       with _ -> ignore (Tgd_exec.Telemetry.add t.telemetry "serve.jobs.failed" 1));
+      locked t (fun () ->
+          t.running <- t.running - 1;
+          if t.running = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle);
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?workers ?(queue_bound = 64) ~telemetry () =
+  if queue_bound <= 0 then invalid_arg "Scheduler.create: queue_bound must be positive";
+  let workers =
+    match workers with
+    | Some w when w > 0 -> w
+    | Some _ -> invalid_arg "Scheduler.create: workers must be positive"
+    | None -> Tgd_logic.Parallel.domain_count ()
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      bound = queue_bound;
+      closed = false;
+      running = 0;
+      domains = [];
+      telemetry;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t job =
+  let verdict =
+    locked t (fun () ->
+        if t.closed then Error `Closed
+        else if Queue.length t.queue >= t.bound then Error (`Overloaded (Queue.length t.queue))
+        else begin
+          Queue.push job t.queue;
+          Condition.signal t.nonempty;
+          Ok (Queue.length t.queue)
+        end)
+  in
+  match verdict with
+  | Ok depth ->
+    ignore (Tgd_exec.Telemetry.add t.telemetry "serve.jobs" 1);
+    Tgd_exec.Telemetry.gauge t.telemetry "serve.queue.peak" depth;
+    Ok ()
+  | Error `Closed -> Error `Closed
+  | Error (`Overloaded d) ->
+    ignore (Tgd_exec.Telemetry.add t.telemetry "serve.overloaded" 1);
+    Error (`Overloaded d)
+
+let drain t =
+  locked t (fun () ->
+      while not (Queue.is_empty t.queue && t.running = 0) do
+        Condition.wait t.idle t.lock
+      done)
+
+let shutdown t =
+  let doms =
+    locked t (fun () ->
+        if t.closed then []
+        else begin
+          t.closed <- true;
+          Condition.broadcast t.nonempty;
+          let doms = t.domains in
+          t.domains <- [];
+          doms
+        end)
+  in
+  List.iter Domain.join doms
+
+let queue_depth t = locked t (fun () -> Queue.length t.queue)
+let workers t = locked t (fun () -> List.length t.domains)

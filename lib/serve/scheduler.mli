@@ -1,0 +1,41 @@
+(** A Domain-based worker pool with admission control — the serving
+    layer's executor.
+
+    Requests are enqueued as thunks into a bounded queue consumed by a
+    fixed set of worker domains. When the queue is full, {!submit} rejects
+    with [`Overloaded] immediately instead of queuing without bound: under
+    overload the server sheds typed errors at enqueue time and keeps
+    latency bounded for admitted requests, rather than stalling every
+    client behind an ever-growing backlog.
+
+    Jobs run at most once, on exactly one worker; a raising job is
+    contained (the exception is swallowed after charging
+    [serve.jobs.failed]) so one bad request can never take a worker down.
+    Jobs must do their own response writing/synchronization. *)
+
+type t
+
+type reject =
+  [ `Overloaded of int  (** queue depth at rejection time *)
+  | `Closed ]
+
+val create : ?workers:int -> ?queue_bound:int -> telemetry:Tgd_exec.Telemetry.t -> unit -> t
+(** [workers] defaults to {!Tgd_logic.Parallel.domain_count} (so it honours
+    [TGDLIB_DOMAINS]); [queue_bound] to 64. The workers are spawned
+    eagerly and live until {!shutdown}. *)
+
+val submit : t -> (unit -> unit) -> (unit, reject) result
+(** Enqueue a job. Charges [serve.jobs] on admission, [serve.overloaded]
+    on rejection, and gauges [serve.queue.peak]. *)
+
+val drain : t -> unit
+(** Block until the queue is empty and no job is running. New submissions
+    are still accepted afterwards (used by tests and the stats op to
+    quiesce). *)
+
+val shutdown : t -> unit
+(** Stop accepting work, let already-admitted jobs finish, join the
+    workers. Idempotent. *)
+
+val queue_depth : t -> int
+val workers : t -> int

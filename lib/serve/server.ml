@@ -1,0 +1,320 @@
+open Tgd_logic
+
+type t = {
+  registry : Registry.t;
+  cache : Prepared.t;
+  telemetry : Tgd_exec.Telemetry.t;
+  base_budget : Tgd_exec.Budget.t;
+  config : Tgd_rewrite.Rewrite.config;
+}
+
+let default_budget =
+  {
+    Tgd_exec.Budget.unlimited with
+    Tgd_exec.Budget.deadline_s = Some 8.0;
+    rewrite_cqs = Some 200_000;
+  }
+
+let create ?(cache_capacity = 1024) ?(base_budget = default_budget)
+    ?(config = Tgd_rewrite.Rewrite.default_config) () =
+  let telemetry = Tgd_exec.Telemetry.create () in
+  {
+    registry = Registry.create ();
+    cache = Prepared.create ~capacity:cache_capacity ~telemetry ();
+    telemetry;
+    base_budget;
+    (* Workers must not spawn nested domain pools for UCQ minimization. *)
+    config = { config with Tgd_rewrite.Rewrite.domains = Some 1 };
+  }
+
+let telemetry t = t.telemetry
+let registry t = t.registry
+let cache t = t.cache
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+let read_source = function
+  | Protocol.Inline s -> Ok s
+  | Protocol.File path -> (
+    match open_in_bin path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Ok s)
+
+let parse_ontology ~name src =
+  match Tgd_parser.Parser.parse_string ~filename:name src with
+  | Error e -> Error (Format.asprintf "%a" Tgd_parser.Parser.pp_error e)
+  | Ok doc -> (
+    match Tgd_parser.Parser.program_of_document ~name doc with
+    | Error msg -> Error msg
+    | Ok program -> Ok (program, Tgd_db.Instance.of_atoms doc.Tgd_parser.Parser.facts))
+
+(* A query request is a one-query document: "q(X) :- person(X)." *)
+let parse_query src =
+  match Tgd_parser.Parser.parse_string ~filename:"query" src with
+  | Error e -> Error (Format.asprintf "%a" Tgd_parser.Parser.pp_error e)
+  | Ok doc -> (
+    match doc.Tgd_parser.Parser.queries, doc.Tgd_parser.Parser.rules with
+    | [ q ], [] -> Ok q
+    | [], _ -> Error "no query in request (expected: q(X) :- p(X).)"
+    | _ :: _ :: _, _ -> Error "more than one query in request"
+    | _, _ :: _ -> Error "rules are not allowed in a query request")
+
+let budget_of t spec =
+  match spec with
+  | None -> Ok t.base_budget
+  | Some spec -> Tgd_exec.Budget.of_string ~base:t.base_budget spec
+
+(* Prepare = cache lookup, or rewrite + plan + insert. Returns the entry
+   and whether it came from the cache. Charges the per-request governor on
+   the miss path only: a warm hit never touches the rewriter. *)
+let prepare_entry t (entry : Registry.entry) canon gov =
+  match Prepared.find t.cache ~ontology:entry.Registry.name ~epoch:entry.Registry.epoch ~canon with
+  | Some prepared -> (prepared, true)
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let r = Tgd_rewrite.Rewrite.ucq ~config:t.config ~gov entry.Registry.program canon.Canon.cq in
+    let complete =
+      match r.Tgd_rewrite.Rewrite.outcome with
+      | Tgd_rewrite.Rewrite.Complete -> true
+      | Tgd_rewrite.Rewrite.Truncated _ -> false
+    in
+    let plans =
+      List.map (Tgd_db.Plan.choose entry.Registry.instance) r.Tgd_rewrite.Rewrite.ucq
+    in
+    let prepared =
+      {
+        Prepared.ontology = entry.Registry.name;
+        epoch = entry.Registry.epoch;
+        canon;
+        ucq = r.Tgd_rewrite.Rewrite.ucq;
+        complete;
+        plans;
+        prepare_s = Unix.gettimeofday () -. t0;
+      }
+    in
+    (* Only complete rewritings are cached: an incomplete one is sound but
+       budget-dependent, and a later request with a larger budget would hit
+       the truncated entry under the same key. Incomplete preparations are
+       recomputed per request instead. *)
+    if complete then Prepared.add t.cache prepared;
+    (prepared, false)
+
+let json_tuple tup =
+  Json.List
+    (Array.to_list (Array.map (fun v -> Json.String (Format.asprintf "%a" Tgd_db.Value.pp v)) tup))
+
+let with_entry t name f =
+  match Registry.find t.registry name with
+  | None -> Error ("unknown_ontology", Printf.sprintf "unknown ontology %S" name)
+  | Some entry -> f entry
+
+let handle_query t ~ontology ~query ~budget ~eval =
+  with_entry t ontology (fun entry ->
+      match parse_query query with
+      | Error msg -> Error ("bad_request", msg)
+      | Ok q -> (
+        match budget_of t budget with
+        | Error msg -> Error ("bad_request", "bad budget: " ^ msg)
+        | Ok budget ->
+          let canon = Canon.of_cq q in
+          let request_tele = Tgd_exec.Telemetry.create () in
+          let gov = Tgd_exec.Governor.create ~budget ~telemetry:request_tele () in
+          let prepared, cached = prepare_entry t entry canon gov in
+          let fields =
+            [
+              ("ontology", Json.String entry.Registry.name);
+              ("epoch", Json.Int entry.Registry.epoch);
+              ("cached", Json.Bool cached);
+              ("complete", Json.Bool prepared.Prepared.complete);
+              ("disjuncts", Json.Int (List.length prepared.Prepared.ucq));
+              ("canonical", Json.String (Cq.to_string canon.Canon.cq));
+            ]
+          in
+          let fields =
+            if eval then begin
+              let answers =
+                Tgd_db.Eval.ucq ~gov entry.Registry.instance prepared.Prepared.ucq
+                |> List.filter (fun tup -> not (Tgd_db.Tuple.has_null tup))
+              in
+              let exact =
+                prepared.Prepared.complete && Tgd_exec.Governor.stopped gov = None
+              in
+              fields
+              @ [
+                  ("answers", Json.List (List.map json_tuple answers));
+                  ("exact", Json.Bool exact);
+                ]
+            end
+            else fields
+          in
+          let fields =
+            match Tgd_exec.Governor.stopped gov with
+            | None -> fields
+            | Some reason ->
+              fields
+              @ [ ("truncated", Json.String (Tgd_exec.Governor.stop_reason_to_string reason)) ]
+          in
+          let fields = fields @ [ ("wall_s", Json.Float (Tgd_exec.Governor.elapsed_s gov)) ] in
+          Tgd_exec.Telemetry.merge_into ~into:t.telemetry request_tele;
+          ignore (Tgd_exec.Telemetry.add t.telemetry "serve.requests" 1);
+          Ok fields))
+
+let registered_fields (entry : Registry.entry) =
+  [
+    ("name", Json.String entry.Registry.name);
+    ("epoch", Json.Int entry.Registry.epoch);
+    ("rules", Json.Int (Program.size entry.Registry.program));
+    ("facts", Json.Int (Tgd_db.Instance.cardinality entry.Registry.instance));
+  ]
+
+let handle t (request : Protocol.request) =
+  match request with
+  | Protocol.Register_ontology { name; source } -> (
+    match read_source source with
+    | Error msg -> Error ("bad_request", msg)
+    | Ok src -> (
+      match parse_ontology ~name src with
+      | Error msg -> Error ("parse_error", msg)
+      | Ok (program, facts) ->
+        let entry = Registry.register t.registry ~name ~facts program in
+        let purged = Prepared.purge t.cache ~ontology:name ~keep_epoch:entry.Registry.epoch in
+        Ok (registered_fields entry @ [ ("purged", Json.Int purged) ])))
+  | Protocol.Load_csv { name; source } -> (
+    let loaded =
+      match source with
+      | Protocol.Inline src -> Registry.load_csv_string t.registry ~name src
+      | Protocol.File path -> Registry.load_csv_file t.registry ~name path
+    in
+    match loaded with
+    | Error msg ->
+      if Registry.find t.registry name = None then Error ("unknown_ontology", msg)
+      else Error ("bad_request", msg)
+    | Ok entry ->
+      let purged = Prepared.purge t.cache ~ontology:name ~keep_epoch:entry.Registry.epoch in
+      Ok (registered_fields entry @ [ ("purged", Json.Int purged) ]))
+  | Protocol.Prepare { ontology; query } ->
+    handle_query t ~ontology ~query ~budget:None ~eval:false
+  | Protocol.Execute { ontology; query; budget } ->
+    handle_query t ~ontology ~query ~budget ~eval:true
+  | Protocol.Stats ->
+    let counters =
+      Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Tgd_exec.Telemetry.counters t.telemetry))
+    in
+    let peaks =
+      Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Tgd_exec.Telemetry.peaks t.telemetry))
+    in
+    let ontologies =
+      Json.List
+        (List.map
+           (fun (name, epoch, rules, facts) ->
+             Json.Obj
+               [
+                 ("name", Json.String name);
+                 ("epoch", Json.Int epoch);
+                 ("rules", Json.Int rules);
+                 ("facts", Json.Int facts);
+               ])
+           (Registry.list t.registry))
+    in
+    Ok
+      [
+        ("counters", counters);
+        ("peaks", peaks);
+        ("ontologies", ontologies);
+        ( "cache",
+          Json.Obj
+            [
+              ("size", Json.Int (Prepared.length t.cache));
+              ("capacity", Json.Int (Prepared.capacity t.cache));
+            ] );
+      ]
+  | Protocol.Ping -> Ok [ ("pong", Json.Bool true) ]
+  | Protocol.Shutdown -> Ok []
+
+(* ------------------------------------------------------------------ *)
+(* The serving loop                                                    *)
+
+let run ?workers ?(queue_bound = 64) t ic oc =
+  let out_lock = Mutex.create () in
+  let respond line =
+    Mutex.lock out_lock;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock out_lock
+  in
+  let scheduler = Scheduler.create ?workers ~queue_bound ~telemetry:t.telemetry () in
+  let answer id = function
+    | Ok fields -> respond (Protocol.response_ok ~id fields)
+    | Error (kind, msg) -> respond (Protocol.response_error ~id ~kind msg)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Scheduler.drain scheduler;
+      Scheduler.shutdown scheduler)
+    (fun () ->
+      let outcome = ref `Eof in
+      let stop = ref false in
+      while not !stop do
+        match input_line ic with
+        | exception End_of_file -> stop := true
+        | line when String.trim line = "" -> ()
+        | line -> (
+          match Protocol.parse line with
+          | Error (id, msg) -> respond (Protocol.response_error ~id ~kind:"bad_request" msg)
+          | Ok { Protocol.id; request } -> (
+            match request with
+            | Protocol.Prepare _ | Protocol.Execute _ -> (
+              match Scheduler.submit scheduler (fun () -> answer id (handle t request)) with
+              | Ok () -> ()
+              | Error (`Overloaded depth) ->
+                respond
+                  (Protocol.response_error ~id ~kind:"overloaded"
+                     (Printf.sprintf "queue full (%d waiting); retry later" depth))
+              | Error `Closed ->
+                respond (Protocol.response_error ~id ~kind:"internal" "scheduler closed"))
+            | Protocol.Shutdown ->
+              (* Let in-flight work answer first, then acknowledge and stop. *)
+              Scheduler.drain scheduler;
+              answer id (Ok [ ("stopping", Json.Bool true) ]);
+              outcome := `Shutdown;
+              stop := true
+            | Protocol.Register_ontology _ | Protocol.Load_csv _ | Protocol.Stats ->
+              (* Registry mutations fence on in-flight queries — an epoch bump
+                 must not race requests admitted before it — and stats waits
+                 too, so its counters reflect every previously admitted
+                 request. Only ping answers ahead of queued work. *)
+              Scheduler.drain scheduler;
+              answer id (handle t request)
+            | Protocol.Ping -> answer id (handle t request)))
+      done;
+      !outcome)
+
+let run_unix_socket ?workers ?queue_bound t ~path =
+  if Sys.file_exists path then Unix.unlink path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with _ -> ());
+      if Sys.file_exists path then Unix.unlink path)
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let stop = ref false in
+      while not !stop do
+        let client, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        (* A plain EOF only ends this connection; a shutdown request stops
+           the accept loop too. State persists across connections. *)
+        (match run ?workers ?queue_bound t ic oc with
+        | `Shutdown -> stop := true
+        | `Eof -> ()
+        | exception _ -> ());
+        try Unix.close client with _ -> ()
+      done)

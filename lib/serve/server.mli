@@ -1,0 +1,60 @@
+(** The long-running query server: registry + canonical prepared-query
+    cache + governed scheduler behind the JSONL protocol.
+
+    {!handle} is the synchronous request brain — it is what both the test
+    suite and the worker domains call, so every behavior (cache hits,
+    epoch invalidation, budget truncation) is testable in-process without
+    spawning a server. {!run} is the serving loop: [prepare]/[execute]
+    are admitted to a bounded {!Scheduler} and answered from worker
+    domains, admission failure is shed immediately as a typed
+    ["overloaded"] response, and control operations execute inline on
+    the control thread — registry mutations (register, load-csv) and
+    [stats] first drain in-flight queries, so an epoch bump never races
+    requests admitted before it; only [ping] overtakes queued work.
+
+    Per-request execution is governed: each request gets a fresh
+    {!Tgd_exec.Governor} over the server's base budget (overridable per
+    request), and its telemetry is merged into the server-wide sink after
+    the run — so [stats] exposes exact aggregate counters
+    ([serve.requests], [serve.cache.hits/misses/evictions],
+    [rewrite.cqs], [eval.steps], ...) even under concurrency. *)
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  ?base_budget:Tgd_exec.Budget.t ->
+  ?config:Tgd_rewrite.Rewrite.config ->
+  unit ->
+  t
+(** A fresh server state. [base_budget] (default: 8s deadline, 200k
+    rewrite.cqs) bounds every request unless the request supplies its own
+    [budget] spec, which is parsed on top of the base. [config] is the
+    rewriting configuration; its [domains] field is forced to 1 — worker
+    domains must not spawn nested pools. *)
+
+val telemetry : t -> Tgd_exec.Telemetry.t
+(** The server-wide aggregate sink. *)
+
+val registry : t -> Registry.t
+val cache : t -> Prepared.t
+
+val handle : t -> Protocol.request -> ((string * Json.t) list, string * string) result
+(** Process one request synchronously; [Ok fields] become the success
+    response, [Error (kind, msg)] the typed error. Safe to call from any
+    domain. [Shutdown] returns [Ok []] — loop termination is the caller's
+    business. *)
+
+val run :
+  ?workers:int -> ?queue_bound:int -> t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+(** Serve JSONL requests from the channel until EOF or a [shutdown]
+    request (the return value says which); every response is exactly one
+    line, flushed. Worker count defaults to
+    {!Tgd_logic.Parallel.domain_count}, queue bound to 64. Admitted
+    requests always get a response before [run] returns. *)
+
+val run_unix_socket : ?workers:int -> ?queue_bound:int -> t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (unlinking a stale one), accept
+    connections sequentially, and {!run} each until its EOF/shutdown; a
+    [shutdown] request also stops accepting. Registry, cache and telemetry
+    persist across connections. *)

@@ -265,6 +265,69 @@ let test_csv_roundtrip () =
     Alcotest.(check string) "canonical text equal" (Csv_io.save_string inst)
       (Csv_io.save_string inst')
 
+(* Write -> read -> equal instance, on every shape of field the writer can
+   be handed: separators, escaped quotes, literal newlines, leading and
+   trailing whitespace (would be trimmed if left unquoted), a leading '#'
+   (would read back as a comment), and the empty string. *)
+let test_csv_roundtrip_hostile () =
+  let inst = Instance.create () in
+  let add pred args = ignore (Instance.add_fact inst (Symbol.intern pred) (Array.map Value.const args)) in
+  add "plain" [| "a"; "b" |];
+  add "quoty" [| "O'Hara, Ada"; "says \"hi\"" |];
+  add "newliny" [| "two\nlines"; "x" |];
+  add "spacey" [| " leading"; "trailing "; "\ttabbed\t" |];
+  add "hashy" [| "#not-a-comment" |];
+  add "#hash_pred" [| "v" |];
+  add "empty_field" [| ""; "z" |];
+  let text = Csv_io.save_string inst in
+  match Csv_io.load_string text with
+  | Error e -> Alcotest.fail e
+  | Ok inst' ->
+    let facts i =
+      Instance.facts i
+      |> List.map (fun (p, t) -> (Symbol.name p, Array.to_list (Array.map (Format.asprintf "%a" Value.pp) t)))
+      |> List.sort compare
+    in
+    Alcotest.(check (list (pair string (list string)))) "facts equal" (facts inst) (facts inst');
+    Alcotest.(check string) "text stable" text (Csv_io.save_string inst')
+
+(* An empty relation has no facts, so the fact-per-record format drops it:
+   write -> read yields the facts, and predicates with zero rows are simply
+   absent. Make that contract explicit. *)
+let test_csv_empty_relation () =
+  let inst = Instance.create () in
+  ignore (Instance.add_fact inst (Symbol.intern "edge") [| Value.const "a"; Value.const "b" |]);
+  (* Force an empty relation into existence. *)
+  (match Instance.relation inst (Symbol.intern "lonely") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "lonely should not exist yet");
+  let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "edge" [ v "X"; v "Y" ] ] in
+  ignore (Eval.cq inst q);
+  Alcotest.(check string) "empty instance saves to empty text" ""
+    (Csv_io.save_string (Instance.create ()));
+  (match Csv_io.load_string "" with
+  | Error e -> Alcotest.fail e
+  | Ok i -> Alcotest.(check int) "empty text loads empty instance" 0 (Instance.cardinality i));
+  match Csv_io.load_string (Csv_io.save_string inst) with
+  | Error e -> Alcotest.fail e
+  | Ok inst' ->
+    Alcotest.(check int) "one fact survives" 1 (Instance.cardinality inst');
+    Alcotest.(check int) "only the populated predicate exists" 1
+      (List.length (Instance.predicates inst'))
+
+let test_csv_multiline_quoted () =
+  let src = "p,\"a\nb\",c\nq,plain\n" in
+  match Csv_io.load_string src with
+  | Error e -> Alcotest.fail e
+  | Ok inst -> (
+    Alcotest.(check int) "two facts" 2 (Instance.cardinality inst);
+    match Instance.relation inst (Symbol.intern "p") with
+    | None -> Alcotest.fail "p missing"
+    | Some rel -> (
+      match Relation.to_list rel with
+      | [ t ] -> Alcotest.(check bool) "newline kept" true (Value.equal t.(0) (vc "a\nb"))
+      | _ -> Alcotest.fail "expected one p tuple"))
+
 (* ------------------------------------------------------------------ *)
 (* Plan *)
 
@@ -378,6 +441,9 @@ let () =
           Alcotest.test_case "quoting" `Quick test_csv_quoting;
           Alcotest.test_case "errors" `Quick test_csv_errors;
           Alcotest.test_case "round trip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "round trip (hostile fields)" `Quick test_csv_roundtrip_hostile;
+          Alcotest.test_case "empty relations" `Quick test_csv_empty_relation;
+          Alcotest.test_case "multiline quoted field" `Quick test_csv_multiline_quoted;
         ] );
       ( "plan",
         [

@@ -1,0 +1,458 @@
+(* The serving subsystem: canonical CQ forms, the prepared-query LRU,
+   the bounded scheduler, domain-safe telemetry, and the server brain
+   (warm-cache behavior, epoch invalidation, concurrent execution), plus
+   an end-to-end JSONL smoke of the real `obda serve` binary. *)
+
+open Tgd_logic
+module Json = Tgd_serve.Json
+module Canon = Tgd_serve.Canon
+module Prepared = Tgd_serve.Prepared
+module Scheduler = Tgd_serve.Scheduler
+module Protocol = Tgd_serve.Protocol
+module Server = Tgd_serve.Server
+module Telemetry = Tgd_exec.Telemetry
+
+let v = Term.var
+let c = Term.const
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let test_json_roundtrip () =
+  let src = {|{"a":[1,-2.5,"xé\n",true,null],"b":{"c":"","d":[[]]}}|} in
+  match Json.parse src with
+  | Error msg -> Alcotest.fail ("parse failed: " ^ msg)
+  | Ok j -> (
+    let printed = Json.to_string j in
+    Alcotest.(check bool) "no raw newline" false (String.contains printed '\n');
+    match Json.parse printed with
+    | Error msg -> Alcotest.fail ("reparse failed: " ^ msg)
+    | Ok j2 -> Alcotest.(check string) "print is stable" printed (Json.to_string j2))
+
+let test_json_errors () =
+  let bad = [ "{"; "[1,]"; "{\"a\":}"; "1 2"; "\"unterminated"; "nul" ] in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+      | Error _ -> ())
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Canonical forms: deterministic cases *)
+
+let canon_key cq = (Canon.of_cq cq).Canon.key
+
+let test_canon_alpha_equal () =
+  let q1 =
+    Cq.make ~name:"q" ~answer:[ v "X" ]
+      ~body:[ Atom.of_strings "p" [ v "X"; v "Y" ]; Atom.of_strings "p" [ v "Y"; v "Z" ] ]
+  in
+  let q2 =
+    Cq.make ~name:"other" ~answer:[ v "A" ]
+      ~body:[ Atom.of_strings "p" [ v "B"; v "C" ]; Atom.of_strings "p" [ v "A"; v "B" ] ]
+  in
+  Alcotest.(check string) "renamed + reordered same key" (canon_key q1) (canon_key q2);
+  Alcotest.(check bool) "exact" true (Canon.of_cq q1).Canon.exact
+
+let test_canon_distinguishes () =
+  let p x y = Atom.of_strings "p" [ x; y ] in
+  let q_xy = Cq.make ~name:"q" ~answer:[ v "X"; v "Y" ] ~body:[ p (v "X") (v "Y") ] in
+  let q_yx = Cq.make ~name:"q" ~answer:[ v "X"; v "Y" ] ~body:[ p (v "Y") (v "X") ] in
+  Alcotest.(check bool) "answer order matters" false (canon_key q_xy = canon_key q_yx);
+  let q_const = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ p (v "X") (c "c3") ] in
+  let q_var = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ p (v "X") (v "Y") ] in
+  Alcotest.(check bool) "constants are not variables" false (canon_key q_const = canon_key q_var)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical forms: properties. The generator keeps the variable pool at
+   five, well under {!Canon.max_exact_existentials}, so the exhaustive
+   labeling always applies and invariance is guaranteed, not best-effort. *)
+
+let signature = [ ("p", 2); ("q", 1); ("r", 3) ]
+let gen_pred = QCheck.Gen.oneofl signature
+let gen_var = QCheck.Gen.map (fun i -> v (Printf.sprintf "X%d" i)) (QCheck.Gen.int_bound 4)
+let gen_const = QCheck.Gen.map (fun i -> c (Printf.sprintf "c%d" i)) (QCheck.Gen.int_bound 3)
+let gen_term = QCheck.Gen.frequency [ (3, gen_var); (1, gen_const) ]
+
+let gen_atom =
+  QCheck.Gen.(
+    gen_pred >>= fun (name, arity) ->
+    list_repeat arity gen_term >>= fun args -> return (Atom.of_strings name args))
+
+let gen_cq =
+  QCheck.Gen.(
+    int_range 1 4 >>= fun n ->
+    list_repeat n gen_atom >>= fun body ->
+    let vars =
+      Symbol.Set.elements
+        (List.fold_left (fun acc a -> Symbol.Set.union acc (Atom.vars a)) Symbol.Set.empty body)
+    in
+    (if vars = [] then return []
+     else
+       int_bound (min 2 (List.length vars - 1)) >>= fun k ->
+       return (List.filteri (fun i _ -> i <= k) vars))
+    >>= fun answer_vars ->
+    return (Cq.make ~name:"q" ~answer:(List.map (fun x -> Term.Var x) answer_vars) ~body))
+
+let arb_cq_seeded =
+  QCheck.make
+    ~print:(fun (cq, seed) -> Printf.sprintf "%s [seed %d]" (Cq.to_string cq) seed)
+    QCheck.Gen.(pair gen_cq (int_bound 1_000_000))
+
+(* An injective renaming to fresh variable names plus a seed-driven shuffle
+   of the body: the canonical key must not move. *)
+let scramble seed cq =
+  let rng = Random.State.make [| seed |] in
+  let vars =
+    Symbol.Set.elements
+      (List.fold_left (fun acc a -> Symbol.Set.union acc (Atom.vars a)) Symbol.Set.empty
+         cq.Cq.body)
+  in
+  let renaming =
+    Subst.of_list
+      (List.mapi
+         (fun i x -> (x, v (Printf.sprintf "Z%d_%d" (Random.State.int rng 1000) i)))
+         vars)
+  in
+  let body =
+    List.map (fun a -> (Random.State.bits rng, Subst.apply_atom renaming a)) cq.Cq.body
+    |> List.sort compare |> List.map snd
+  in
+  Cq.make ~name:"scrambled" ~answer:(Subst.apply_terms renaming cq.Cq.answer) ~body
+
+let prop_canon_invariant =
+  QCheck.Test.make ~name:"canon key invariant under renaming + reordering" ~count:400
+    arb_cq_seeded (fun (cq, seed) ->
+      let cq' = scramble seed cq in
+      canon_key cq = canon_key cq')
+
+let prop_canon_equivalent =
+  QCheck.Test.make ~name:"canonical form is homomorphically equivalent to the query" ~count:400
+    arb_cq_seeded (fun (cq, seed) ->
+      let canon = Canon.of_cq cq in
+      Containment.equivalent cq canon.Canon.cq
+      && Containment.equivalent cq (scramble seed cq))
+
+let prop_canon_collision_sound =
+  QCheck.Test.make ~name:"equal keys imply containment-equivalent queries" ~count:600
+    (QCheck.make
+       ~print:(fun (a, b) -> Cq.to_string a ^ " vs " ^ Cq.to_string b)
+       QCheck.Gen.(pair gen_cq gen_cq))
+    (fun (cq1, cq2) ->
+      List.length cq1.Cq.answer <> List.length cq2.Cq.answer
+      || canon_key cq1 <> canon_key cq2
+      || Containment.equivalent cq1 cq2)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry under domains: counters must be exact, not approximate. *)
+
+let test_telemetry_domain_stress () =
+  let t = Telemetry.create () in
+  let per_domain = 100_000 in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              ignore (Telemetry.add t "stress.count" 1);
+              Telemetry.gauge t "stress.peak" ((d * per_domain) + i)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "exact total over 4 domains" (4 * per_domain)
+    (Telemetry.get t "stress.count");
+  Alcotest.(check int) "exact peak" (4 * per_domain) (Telemetry.peak t "stress.peak")
+
+let test_telemetry_merge () =
+  let a = Telemetry.create () and b = Telemetry.create () in
+  ignore (Telemetry.add a "x" 3);
+  Telemetry.gauge a "g" 7;
+  ignore (Telemetry.add b "x" 4);
+  ignore (Telemetry.add b "y" 1);
+  Telemetry.gauge b "g" 5;
+  Telemetry.add_span b "phase" 0.25;
+  Telemetry.merge_into ~into:a b;
+  Alcotest.(check int) "summed counter" 7 (Telemetry.get a "x");
+  Alcotest.(check int) "new counter" 1 (Telemetry.get a "y");
+  Alcotest.(check int) "peak is max" 7 (Telemetry.peak a "g");
+  Alcotest.(check bool) "phase carried" true (List.mem_assoc "phase" (Telemetry.phases a))
+
+(* ------------------------------------------------------------------ *)
+(* Prepared-query LRU *)
+
+let mk_entry tel_ignored ~ontology ~epoch pred =
+  ignore tel_ignored;
+  let cq = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ Atom.of_strings pred [ v "X" ] ] in
+  let canon = Canon.of_cq cq in
+  {
+    Prepared.ontology;
+    epoch;
+    canon;
+    ucq = [ canon.Canon.cq ];
+    complete = true;
+    plans = [];
+    prepare_s = 0.0;
+  }
+
+let test_prepared_lru () =
+  let tel = Telemetry.create () in
+  let cache = Prepared.create ~capacity:2 ~telemetry:tel () in
+  let e1 = mk_entry tel ~ontology:"o" ~epoch:1 "p1"
+  and e2 = mk_entry tel ~ontology:"o" ~epoch:1 "p2"
+  and e3 = mk_entry tel ~ontology:"o" ~epoch:1 "p3" in
+  Prepared.add cache e1;
+  Prepared.add cache e2;
+  (* touch e1 so that e2 is the LRU victim *)
+  Alcotest.(check bool) "e1 hit" true
+    (Prepared.find cache ~ontology:"o" ~epoch:1 ~canon:e1.Prepared.canon <> None);
+  Prepared.add cache e3;
+  Alcotest.(check int) "capacity held" 2 (Prepared.length cache);
+  Alcotest.(check bool) "LRU victim evicted" true
+    (Prepared.find cache ~ontology:"o" ~epoch:1 ~canon:e2.Prepared.canon = None);
+  Alcotest.(check bool) "recent survivor" true
+    (Prepared.find cache ~ontology:"o" ~epoch:1 ~canon:e1.Prepared.canon <> None);
+  Alcotest.(check bool) "new entry present" true
+    (Prepared.find cache ~ontology:"o" ~epoch:1 ~canon:e3.Prepared.canon <> None);
+  Alcotest.(check int) "evictions" 1 (Telemetry.get tel "serve.cache.evictions");
+  Alcotest.(check int) "hits" 3 (Telemetry.get tel "serve.cache.hits");
+  Alcotest.(check int) "misses" 1 (Telemetry.get tel "serve.cache.misses")
+
+let test_prepared_purge () =
+  let tel = Telemetry.create () in
+  let cache = Prepared.create ~capacity:8 ~telemetry:tel () in
+  Prepared.add cache (mk_entry tel ~ontology:"o" ~epoch:1 "p1");
+  Prepared.add cache (mk_entry tel ~ontology:"o" ~epoch:2 "p1");
+  Prepared.add cache (mk_entry tel ~ontology:"other" ~epoch:1 "p1");
+  Alcotest.(check int) "one stale entry dropped" 1 (Prepared.purge cache ~ontology:"o" ~keep_epoch:2);
+  Alcotest.(check int) "others kept" 2 (Prepared.length cache);
+  Alcotest.(check int) "purges are not evictions" 0 (Telemetry.get tel "serve.cache.evictions")
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: bounded admission with typed shedding *)
+
+let test_scheduler_overload () =
+  let tel = Telemetry.create () in
+  let s = Scheduler.create ~workers:1 ~queue_bound:2 ~telemetry:tel () in
+  let started = Atomic.make false and release = Atomic.make false in
+  let block () =
+    Atomic.set started true;
+    while not (Atomic.get release) do
+      Domain.cpu_relax ()
+    done
+  in
+  (match Scheduler.submit s block with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "blocking job rejected");
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  (* The single worker is pinned: the next queue_bound submissions queue,
+     request N+1 must shed with the typed rejection. *)
+  let ran = Atomic.make 0 in
+  let job () = ignore (Atomic.fetch_and_add ran 1) in
+  (match Scheduler.submit s job with Ok () -> () | Error _ -> Alcotest.fail "queued job 1 rejected");
+  (match Scheduler.submit s job with Ok () -> () | Error _ -> Alcotest.fail "queued job 2 rejected");
+  (match Scheduler.submit s job with
+  | Error (`Overloaded depth) -> Alcotest.(check int) "depth at rejection" 2 depth
+  | Ok () -> Alcotest.fail "request over the bound was admitted"
+  | Error `Closed -> Alcotest.fail "scheduler closed");
+  Atomic.set release true;
+  Scheduler.drain s;
+  Alcotest.(check int) "admitted jobs all ran" 2 (Atomic.get ran);
+  Alcotest.(check int) "shed count" 1 (Telemetry.get tel "serve.overloaded");
+  Scheduler.shutdown s;
+  (match Scheduler.submit s job with
+  | Error `Closed -> ()
+  | _ -> Alcotest.fail "submit after shutdown must be Closed")
+
+(* ------------------------------------------------------------------ *)
+(* Server brain: warm cache, epoch invalidation, concurrency *)
+
+let uni_src = "professor(X) -> person(X). advises(X,Y) -> professor(X)."
+
+let ok_fields = function
+  | Ok fields -> fields
+  | Error (kind, msg) -> Alcotest.fail (Printf.sprintf "request failed: %s: %s" kind msg)
+
+let answers fields =
+  match List.assoc_opt "answers" fields with
+  | Some (Json.List rows) ->
+    List.map
+      (function
+        | Json.List cells ->
+          List.map (function Json.String s -> s | j -> Json.to_string j) cells
+        | j -> [ Json.to_string j ])
+      rows
+    |> List.sort compare
+  | _ -> Alcotest.fail "no answers field"
+
+let bool_field name fields =
+  match List.assoc_opt name fields with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.fail (Printf.sprintf "no boolean %S field" name)
+
+let boot_server ?cache_capacity csv =
+  let srv = Server.create ?cache_capacity () in
+  ignore
+    (ok_fields
+       (Server.handle srv (Protocol.Register_ontology { name = "uni"; source = Protocol.Inline uni_src })));
+  ignore
+    (ok_fields (Server.handle srv (Protocol.Load_csv { name = "uni"; source = Protocol.Inline csv })));
+  srv
+
+let execute srv query =
+  ok_fields (Server.handle srv (Protocol.Execute { ontology = "uni"; query; budget = None }))
+
+let test_server_warm_cache () =
+  let srv = boot_server "professor,alice\nprofessor,bob" in
+  let tel = Server.telemetry srv in
+  let r1 = execute srv "q(X) :- person(X)." in
+  Alcotest.(check bool) "first run is a miss" false (bool_field "cached" r1);
+  Alcotest.(check int) "one miss" 1 (Telemetry.get tel "serve.cache.misses");
+  let cqs_after_cold = Telemetry.get tel "rewrite.cqs" in
+  Alcotest.(check bool) "cold run did rewrite" true (cqs_after_cold > 0);
+  (* α-renamed resubmission: must hit the cache and skip rewriting. *)
+  let r2 = execute srv "q(W) :- person(W)." in
+  Alcotest.(check bool) "renamed rerun is cached" true (bool_field "cached" r2);
+  Alcotest.(check int) "one hit" 1 (Telemetry.get tel "serve.cache.hits");
+  Alcotest.(check int) "warm run skipped rewriting" cqs_after_cold (Telemetry.get tel "rewrite.cqs");
+  Alcotest.(check (list (list string))) "same answers" (answers r1) (answers r2);
+  Alcotest.(check (list (list string))) "ontology answers" [ [ "alice" ]; [ "bob" ] ] (answers r1)
+
+let test_server_epoch_invalidation () =
+  let srv = boot_server "professor,alice" in
+  let r1 = execute srv "q(X) :- person(X)." in
+  Alcotest.(check (list (list string))) "initial answers" [ [ "alice" ] ] (answers r1);
+  Alcotest.(check int) "entry cached" 1 (Prepared.length (Server.cache srv));
+  (* New data bumps the epoch: the prepared entry must not serve stale
+     answers, and the stale-epoch entry is purged eagerly. *)
+  ignore
+    (ok_fields
+       (Server.handle srv
+          (Protocol.Load_csv { name = "uni"; source = Protocol.Inline "advises,carol,dan" })));
+  Alcotest.(check int) "stale entry purged" 0 (Prepared.length (Server.cache srv));
+  let r2 = execute srv "q(X) :- person(X)." in
+  Alcotest.(check bool) "post-update run is a fresh preparation" false (bool_field "cached" r2);
+  Alcotest.(check (list (list string))) "no stale answers" [ [ "alice" ]; [ "carol" ] ] (answers r2)
+
+let test_server_concurrent_execute () =
+  let srv = boot_server "professor,alice\nadvises,bob,carol" in
+  let expected = [ [ "alice" ]; [ "bob" ] ] in
+  let errors = Atomic.make 0 in
+  let per_domain = 25 in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              let var = Printf.sprintf "V%d_%d" d i in
+              let q = Printf.sprintf "q(%s) :- person(%s)." var var in
+              match Server.handle srv (Protocol.Execute { ontology = "uni"; query = q; budget = None }) with
+              | Ok fields when answers fields = expected -> ()
+              | _ -> ignore (Atomic.fetch_and_add errors 1)
+            done))
+  in
+  Array.iter Domain.join domains;
+  let tel = Server.telemetry srv in
+  Alcotest.(check int) "no corrupted responses" 0 (Atomic.get errors);
+  Alcotest.(check int) "every request accounted" (4 * per_domain)
+    (Telemetry.get tel "serve.requests");
+  Alcotest.(check int) "every lookup accounted" (4 * per_domain)
+    (Telemetry.get tel "serve.cache.hits" + Telemetry.get tel "serve.cache.misses")
+
+let test_server_errors () =
+  let srv = Server.create () in
+  (match Server.handle srv (Protocol.Execute { ontology = "ghost"; query = "q(X) :- p(X)."; budget = None }) with
+  | Error ("unknown_ontology", _) -> ()
+  | _ -> Alcotest.fail "expected unknown_ontology");
+  ignore
+    (ok_fields
+       (Server.handle srv
+          (Protocol.Register_ontology { name = "uni"; source = Protocol.Inline uni_src })));
+  (match Server.handle srv (Protocol.Execute { ontology = "uni"; query = "not a query"; budget = None }) with
+  | Error ("bad_request", _) -> ()
+  | _ -> Alcotest.fail "expected bad_request on an unparsable query");
+  match Protocol.parse {|{"id":42,"op":"execute","ontology":"uni"}|} with
+  | Error (Json.Int 42, _) -> ()
+  | _ -> Alcotest.fail "protocol error must carry the request id"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the real binary over stdin/stdout JSONL *)
+
+let obda =
+  let candidates = [ "../bin/obda.exe"; "_build/default/bin/obda.exe"; "bin/obda.exe" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> "../bin/obda.exe"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let test_cli_serve_smoke () =
+  let script = Filename.temp_file "serve_in" ".jsonl" in
+  let out = Filename.temp_file "serve_out" ".jsonl" in
+  let oc = open_out script in
+  output_string oc
+    ({|{"op":"ping","id":1}
+{"op":"register-ontology","id":2,"name":"uni","source":"professor(X) -> person(X)."}
+{"op":"load-csv","id":3,"name":"uni","source":"professor,ada"}
+{"op":"prepare","id":4,"ontology":"uni","query":"q(X) :- person(X)."}
+{"op":"execute","id":5,"ontology":"uni","query":"q(Y) :- person(Y)."}
+{"op":"stats","id":6}
+{"op":"nonsense","id":7}
+{"op":"shutdown","id":8}
+|}
+    : string);
+  close_out oc;
+  let code = Sys.command (Printf.sprintf "%s serve --workers 1 < %s > %s 2>/dev/null" obda script out) in
+  let ic = open_in out in
+  let len = in_channel_length ic in
+  let output = really_input_string ic len in
+  close_in ic;
+  Sys.remove script;
+  Sys.remove out;
+  Alcotest.(check int) "exit 0" 0 code;
+  let lines = String.split_on_char '\n' (String.trim output) in
+  Alcotest.(check int) "one response per request" 8 (List.length lines);
+  Alcotest.(check bool) "pong" true (contains output {|"pong":true|});
+  Alcotest.(check bool) "answers served" true (contains output {|"answers":[["ada"]]|});
+  Alcotest.(check bool) "prepared entry reused" true (contains output {|"cached":true|});
+  Alcotest.(check bool) "unknown op rejected" true (contains output {|"kind":"bad_request"|});
+  Alcotest.(check bool) "clean stop" true (contains output {|"stopping":true|})
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("json", [
+        Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "malformed inputs" `Quick test_json_errors;
+      ]);
+      ("canon", [
+        Alcotest.test_case "alpha-equivalent queries share a key" `Quick test_canon_alpha_equal;
+        Alcotest.test_case "inequivalent queries are distinguished" `Quick test_canon_distinguishes;
+      ]);
+      qsuite "canon-props" [ prop_canon_invariant; prop_canon_equivalent; prop_canon_collision_sound ];
+      ("telemetry", [
+        Alcotest.test_case "4-domain exact totals" `Quick test_telemetry_domain_stress;
+        Alcotest.test_case "merge_into" `Quick test_telemetry_merge;
+      ]);
+      ("prepared", [
+        Alcotest.test_case "LRU eviction and counters" `Quick test_prepared_lru;
+        Alcotest.test_case "epoch purge" `Quick test_prepared_purge;
+      ]);
+      ("scheduler", [
+        Alcotest.test_case "bounded admission sheds typed overload" `Quick test_scheduler_overload;
+      ]);
+      ("server", [
+        Alcotest.test_case "warm cache skips rewriting" `Quick test_server_warm_cache;
+        Alcotest.test_case "epoch bump invalidates prepared entries" `Quick test_server_epoch_invalidation;
+        Alcotest.test_case "concurrent executes stay consistent" `Quick test_server_concurrent_execute;
+        Alcotest.test_case "typed errors" `Quick test_server_errors;
+      ]);
+      ("cli", [ Alcotest.test_case "obda serve JSONL smoke" `Quick test_cli_serve_smoke ]);
+    ]
