@@ -487,6 +487,160 @@ let serve_cmd =
       const run $ workers $ queue_bound $ cache_capacity $ budget_arg $ deadline_arg $ socket)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let fuzz_cmd =
+  let run seed cases corpus replay_dir invariant no_shrink stop_after json trace dump_dir =
+    let invariants =
+      match invariant with
+      | None -> Tgd_conformance.Invariant.all
+      | Some name -> (
+        match Tgd_conformance.Invariant.find name with
+        | Some inv -> [ inv ]
+        | None ->
+          Format.eprintf "unknown invariant %S; known: %s@." name
+            (String.concat ", "
+               (List.map
+                  (fun (i : Tgd_conformance.Invariant.t) -> i.Tgd_conformance.Invariant.name)
+                  Tgd_conformance.Invariant.all));
+          exit 2)
+    in
+    let summary =
+      match replay_dir with
+      | Some dir -> Tgd_conformance.Harness.replay ~invariants ~dir ()
+      | None ->
+        let on_case =
+          if trace || dump_dir <> None then
+            Some
+              (fun index (c : Tgd_conformance.Case.t) ->
+                if trace then
+                  Format.eprintf "case %d (%s, seed %d)@." index c.Tgd_conformance.Case.label
+                    c.Tgd_conformance.Case.seed;
+                match dump_dir with
+                | None -> ()
+                | Some dir ->
+                  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                  Tgd_conformance.Case.save
+                    ~path:
+                      (Filename.concat dir
+                         (Printf.sprintf "case-%06d-seed%d.case" index
+                            c.Tgd_conformance.Case.seed))
+                    c)
+          else None
+        in
+        Tgd_conformance.Harness.run ~invariants ?corpus_dir:corpus ~shrink:(not no_shrink)
+          ?stop_after ?on_case ~seed ~cases ()
+    in
+    if json then begin
+      let open Tgd_serve.Json in
+      let obj =
+        Obj
+          [
+            ("seed", Int summary.Tgd_conformance.Harness.seed);
+            ("cases", Int summary.Tgd_conformance.Harness.cases);
+            ("checks", Int summary.Tgd_conformance.Harness.checks);
+            ("passed", Int summary.Tgd_conformance.Harness.passed);
+            ("skipped", Int summary.Tgd_conformance.Harness.skipped);
+            ("failed", Int summary.Tgd_conformance.Harness.failed);
+            ( "per_invariant",
+              Obj
+                (List.map
+                   (fun (name, (p, s, f)) ->
+                     (name, Obj [ ("pass", Int p); ("skip", Int s); ("fail", Int f) ]))
+                   summary.Tgd_conformance.Harness.per_invariant) );
+            ( "failures",
+              List
+                (List.map
+                   (fun (f : Tgd_conformance.Harness.failure) ->
+                     Obj
+                       ([
+                          ("invariant", String f.Tgd_conformance.Harness.invariant);
+                          ("label", String f.original.Tgd_conformance.Case.label);
+                          ("seed", Int f.original.Tgd_conformance.Case.seed);
+                          ("message", String f.message);
+                        ]
+                       @
+                       match f.Tgd_conformance.Harness.corpus_file with
+                       | None -> []
+                       | Some p -> [ ("corpus_file", String p) ]))
+                   summary.Tgd_conformance.Harness.failures) );
+          ]
+      in
+      print_endline (Tgd_serve.Json.to_string obj)
+    end
+    else print_string (Tgd_conformance.Harness.summary_to_string summary);
+    if summary.Tgd_conformance.Harness.failed > 0 then exit 1
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Base seed of the deterministic case stream.")
+  in
+  let cases =
+    Arg.(
+      value & opt int 100
+      & info [ "cases" ] ~docv:"K" ~doc:"Number of generated cases to sweep.")
+  in
+  let corpus =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Persist shrunk failing cases as $(b,DIR/<invariant>-seed<N>.case).")
+  in
+  let replay_dir =
+    Arg.(
+      value & opt (some dir) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:"Instead of generating, replay every *.case file in DIR through the registry.")
+  in
+  let invariant =
+    Arg.(
+      value & opt (some string) None
+      & info [ "invariant" ] ~docv:"NAME"
+          ~doc:
+            "Check a single invariant (subsumption, differential, metamorphic, serve, \
+             truncation) instead of the full registry.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report failures as generated, without greedy shrinking.")
+  in
+  let stop_after =
+    Arg.(
+      value & opt (some int) None
+      & info [ "stop-after" ] ~docv:"N" ~doc:"Stop the sweep after N failures.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as a single JSON object.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print each case's index, family and seed to stderr before checking it.")
+  in
+  let dump_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump-cases" ] ~docv:"DIR"
+          ~doc:
+            "Write every generated case to DIR before checking it (useful for inspecting a \
+             case that hangs an invariant, with any other $(b,obda) subcommand).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Metamorphic conformance fuzzing: sweep a seeded stream of class-biased (ontology, \
+          instance, query) cases through the cross-layer invariant registry (classifier \
+          subsumption, rewrite/chase differential, metamorphic transforms, serve-path \
+          equivalence, truncation soundness), shrinking and persisting any failure. Exits 1 if \
+          any invariant fails.")
+    Term.(
+      const run $ seed $ cases $ corpus $ replay_dir $ invariant $ no_shrink $ stop_after $ json
+      $ trace $ dump_dir)
+
+(* ------------------------------------------------------------------ *)
 (* examples                                                            *)
 
 let examples_cmd =
@@ -511,7 +665,7 @@ let main =
   Cmd.group info
     [
       classify_cmd; graph_cmd; rewrite_cmd; answer_cmd; chase_cmd; check_cmd; approx_cmd;
-      patterns_cmd; examples_cmd; serve_cmd;
+      patterns_cmd; examples_cmd; serve_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

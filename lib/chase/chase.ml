@@ -64,15 +64,18 @@ let run ?(variant = Restricted) ?(max_rounds = 1_000) ?(max_facts = 1_000_000) ?
       in
       match variant with
       | Oblivious -> fire ()
-      | Restricted -> if not (Trigger.is_satisfied tr inst) then fire ()
+      | Restricted -> if not (Trigger.is_satisfied ~gov tr inst) then fire ()
     end
   in
   let round delta =
     let delta_out : Tuple.t list Symbol.Table.t = Symbol.Table.create 16 in
-    let triggers = Trigger.find_new program inst ~delta in
+    let triggers = Trigger.find_new ~gov program inst ~delta in
     (* Budget checks sit at the trigger loop head, not just between rounds:
        a single round over a large delta can fire unboundedly many
-       triggers. *)
+       triggers. Discovery itself is governed too ([eval.steps]): the
+       governor was live when this round began, so a stop observed here
+       means [find_new] was cut short and its trigger list is partial. *)
+    if Governor.stopped gov <> None then skipped_work := true;
     List.iter
       (fun tr ->
         if Governor.live gov then apply_trigger ~delta_out tr else skipped_work := true)

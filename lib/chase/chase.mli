@@ -50,4 +50,5 @@ val run :
     [max_facts = 1_000_000]. When [gov] is supplied it takes over budgeting
     entirely ([max_rounds]/[max_facts] are ignored — configure the
     governor's {!Tgd_exec.Budget} instead) and the run's counters land in
-    its telemetry under the [chase.*] keys. *)
+    its telemetry under the [chase.*] keys, plus [eval.steps] for the
+    trigger-discovery join search, which the governor also bounds. *)

@@ -19,12 +19,12 @@ let key tr =
   in
   (tr.rule.Tgd.name, values)
 
-let is_satisfied tr inst =
+let is_satisfied ?gov tr inst =
   let frontier = Tgd.frontier tr.rule in
   let init = Symbol.Map.filter (fun v _ -> Symbol.Set.mem v frontier) tr.env in
   let found = ref false in
   (try
-     Eval.bindings ~init inst tr.rule.Tgd.head (fun _ ->
+     Eval.bindings ?gov ~init inst tr.rule.Tgd.head (fun _ ->
          found := true;
          raise Exit)
    with Exit -> ());
@@ -48,18 +48,18 @@ let head_facts tr gen =
   in
   List.map (fun (a : Atom.t) -> (a.Atom.pred, Array.map value a.Atom.args)) tr.rule.Tgd.head
 
-let find_new program inst ~delta =
+let find_new ?gov program inst ~delta =
   let triggers = ref [] in
   let for_rule (r : Tgd.t) =
     let record env = triggers := { rule = r; env } :: !triggers in
     match delta with
-    | None -> Eval.bindings inst r.Tgd.body record
+    | None -> Eval.bindings ?gov inst r.Tgd.body record
     | Some delta ->
       List.iteri
         (fun i (a : Atom.t) ->
           match Symbol.Table.find_opt delta a.Atom.pred with
           | None | Some [] -> ()
-          | Some tuples -> Eval.bindings ~forced:(i, tuples) inst r.Tgd.body record)
+          | Some tuples -> Eval.bindings ?gov ~forced:(i, tuples) inst r.Tgd.body record)
         r.Tgd.body
   in
   List.iter for_rule (Program.tgds program);

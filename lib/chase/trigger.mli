@@ -15,16 +15,25 @@ val key : t -> string * Tuple.t
     the same head instantiation (up to null naming), so the oblivious chase
     fires one of them. *)
 
-val is_satisfied : t -> Instance.t -> bool
+val is_satisfied : ?gov:Tgd_exec.Governor.t -> t -> Instance.t -> bool
 (** Restricted-chase activity test: [true] iff the head is already satisfied,
     i.e. the frontier assignment extends to a homomorphism of the head into
-    the instance. *)
+    the instance. A tripped governor cuts the search short (reporting
+    unsatisfied, which errs on the side of firing — sound for the chase). *)
 
 val head_facts : t -> Null_gen.t -> (Symbol.t * Tuple.t) list
 (** Instantiate the head: frontier variables from the environment,
     existential head variables by fresh nulls (one per variable, shared
     across the head atoms). *)
 
-val find_new : Program.t -> Instance.t -> delta:Tuple.t list Symbol.Table.t option -> t list
+val find_new :
+  ?gov:Tgd_exec.Governor.t ->
+  Program.t ->
+  Instance.t ->
+  delta:Tuple.t list Symbol.Table.t option ->
+  t list
 (** All triggers of the program on the instance; with [delta], only triggers
-    whose body uses at least one delta fact (semi-naive discovery). *)
+    whose body uses at least one delta fact (semi-naive discovery). The
+    governor bounds the join search itself ([eval.steps]): a recursive rule
+    with a self-join can enumerate O(|inst|^2) candidates per round, work no
+    round/fact cap sees. *)

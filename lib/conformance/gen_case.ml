@@ -1,0 +1,111 @@
+open Tgd_logic
+open Tgd_gen
+
+type family =
+  | Linear
+  | Swr
+  | Multilinear
+  | Sticky
+  | Weakly_acyclic
+  | Datalog
+  | Free
+
+let families = [| Linear; Swr; Multilinear; Sticky; Weakly_acyclic; Datalog; Free |]
+
+let family_name = function
+  | Linear -> "linear"
+  | Swr -> "swr"
+  | Multilinear -> "multilinear"
+  | Sticky -> "sticky"
+  | Weakly_acyclic -> "weakly-acyclic"
+  | Datalog -> "datalog"
+  | Free -> "free"
+
+(* The free-generator shape shared by the acceptance-sampled families: the
+   same scale the differential oracle has exercised for thousands of seeds. *)
+let free_config =
+  {
+    Gen_tgd.default_config with
+    Gen_tgd.n_predicates = 4;
+    max_arity = 2;
+    n_rules = 4;
+    max_body_atoms = 2;
+    max_head_atoms = 1;
+    existential_rate = 0.3;
+  }
+
+(* Acceptance sampling with a deterministic fallback: if no member of the
+   class shows up within the budget, the last draw is used (the invariants
+   classify every case themselves, so the bias label is advisory). *)
+let sample rng accept =
+  let last = ref None in
+  let draw () =
+    let p = Gen_tgd.random_simple_program rng free_config in
+    last := Some p;
+    p
+  in
+  match Gen_tgd.sample_in_class ~max_tries:60 accept draw with
+  | Some p -> p
+  | None -> ( match !last with Some p -> p | None -> draw ())
+
+let program rng = function
+  | Linear ->
+    Gen_tgd.simple_linear rng ~n_rules:(2 + Rng.int rng 4) ~n_predicates:4 ~max_arity:2
+  | Multilinear ->
+    Gen_tgd.simple_multilinear rng ~n_rules:(2 + Rng.int rng 3) ~n_predicates:3 ~arity:2
+  | Swr -> sample rng (fun p -> (Tgd_core.Swr.check p).Tgd_core.Swr.swr)
+  | Sticky -> sample rng Tgd_classes.Sticky.sticky
+  | Weakly_acyclic -> sample rng Tgd_classes.Weakly_acyclic.check
+  | Datalog ->
+    (* Existential rate 0 makes every head variable a frontier variable. *)
+    Gen_tgd.random_simple_program rng { free_config with Gen_tgd.existential_rate = 0.0 }
+  | Free ->
+    (* Exercises the declared-signature path of the generator. *)
+    let sg = Gen_tgd.signature rng free_config in
+    Gen_tgd.random_simple_program ~signature:sg rng free_config
+
+(* Small random CQs over the program's declared signature: 1-2 atoms drawn
+   from a pool of 3 variables (collisions make joins interesting), each
+   variable flipping a coin to be an answer variable. *)
+let random_cq rng p =
+  let preds = Program.predicates p in
+  let n_atoms = 1 + Rng.int rng 2 in
+  let term_of_var i = Term.var (Printf.sprintf "X%d" i) in
+  let body =
+    List.init n_atoms (fun _ ->
+        let pred, arity = Rng.choose rng preds in
+        Atom.make pred (List.init arity (fun _ -> term_of_var (Rng.int rng 3))))
+  in
+  let vars =
+    Symbol.Set.elements
+      (List.fold_left (fun acc a -> Symbol.Set.union acc (Atom.vars a)) Symbol.Set.empty body)
+  in
+  let answer =
+    List.filter (fun _ -> Rng.bool rng 0.5) vars |> List.map (fun v -> Term.Var v)
+  in
+  Cq.make ~name:"q" ~answer ~body
+
+let case ~seed ~index =
+  (* SplitMix64 states separated by a large odd constant give independent
+     streams; the derived value is also the case's reproduction seed. *)
+  let case_seed = seed + (index * 0x5851F42D) in
+  let rng = Rng.create case_seed in
+  (* The family is a function of the derived seed alone, so replaying a case
+     by its own seed ([--seed <case_seed> --cases 1]) regenerates it exactly.
+     The stride 0x5851F42D mod 7 = 4 is coprime to 7, so consecutive indices
+     still rotate through every family. *)
+  let n = Array.length families in
+  let family = families.(((case_seed mod n) + n) mod n) in
+  let p = program rng family in
+  let inst =
+    Gen_db.random_instance rng p ~facts_per_predicate:(3 + Rng.int rng 3)
+      ~domain_size:(3 + Rng.int rng 2)
+  in
+  let query = random_cq rng p in
+  {
+    Case.label = family_name family;
+    seed = case_seed;
+    program = p;
+    facts = Tgd_db.Instance.to_atoms inst;
+    query;
+  }

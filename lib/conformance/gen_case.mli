@@ -1,0 +1,26 @@
+(** Seeded, class-biased case generation.
+
+    The case stream is a pure function of [(seed, index)]: case [i] derives
+    its own PRNG from the pair, so any single case can be regenerated
+    without replaying the stream, and the stream is identical across
+    processes, platforms and domain counts. Cases rotate through bias
+    families targeting each classifier class of [lib/classes] — the class
+    boundaries are exactly where implementations break — plus a free family
+    exercising the unclassified wilderness. *)
+
+type family =
+  | Linear
+  | Swr
+  | Multilinear
+  | Sticky
+  | Weakly_acyclic
+  | Datalog
+  | Free
+
+val families : family array
+(** The rotation order of the stream. *)
+
+val family_name : family -> string
+
+val case : seed:int -> index:int -> Case.t
+(** The [index]-th case of stream [seed]. Deterministic. *)

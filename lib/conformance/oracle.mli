@@ -1,0 +1,39 @@
+(** The cross-layer oracle: every pipeline the conformance invariants
+    exercise, bundled as a record of functions.
+
+    Invariants call the stack only through an oracle value, so the mutant
+    tests of the acceptance harness can inject a deliberate fault into
+    exactly one pipeline (a classifier that lies, an evaluator that drops a
+    tuple, a chase that invents answers, a serve path that corrupts its
+    response) and assert that the corresponding invariant class catches
+    it. {!real} wires every field to the production implementation. *)
+
+open Tgd_logic
+
+type t = {
+  classify : Program.t -> Tgd_core.Classifier.report;
+  rewrite :
+    config:Tgd_rewrite.Rewrite.config -> Program.t -> Cq.t -> Tgd_rewrite.Rewrite.result;
+  rewrite_union :
+    config:Tgd_rewrite.Rewrite.config -> Program.t -> Cq.ucq -> Tgd_rewrite.Rewrite.result;
+  eval_ucq : Tgd_db.Instance.t -> Cq.ucq -> Tgd_db.Tuple.t list;
+      (** certain-answer semantics: null-free, deduplicated, sorted *)
+  certain_cq :
+    max_rounds:int ->
+    max_facts:int ->
+    Program.t ->
+    Tgd_db.Instance.t ->
+    Cq.t ->
+    Tgd_chase.Certain.result;
+  chase_run :
+    max_rounds:int -> max_facts:int -> Program.t -> Tgd_db.Instance.t -> Tgd_chase.Chase.stats;
+  canon_key : Cq.t -> string;
+      (** the prepared-cache canonical key: must be invariant under
+          consistent variable renaming and body reordering *)
+  serve_handle :
+    Tgd_serve.Server.t ->
+    Tgd_serve.Protocol.request ->
+    ((string * Tgd_serve.Json.t) list, string * string) result;
+}
+
+val real : t

@@ -1,0 +1,62 @@
+open Tgd_logic
+
+(* Remove the i-th element. *)
+let drop_nth i l = List.filteri (fun j _ -> j <> i) l
+
+let safe_query ~name ~answer ~body =
+  if body = [] then None
+  else
+    let body_vars =
+      List.fold_left (fun acc a -> Symbol.Set.union acc (Atom.vars a)) Symbol.Set.empty body
+    in
+    let safe =
+      List.for_all
+        (function Term.Var v -> Symbol.Set.mem v body_vars | Term.Const _ -> true)
+        answer
+    in
+    if safe then Some (Cq.make ~name ~answer ~body) else None
+
+(* One pass: the first single-element deletion that still reproduces, or
+   [None] when the case is locally minimal. Rules first (each rule usually
+   costs the most downstream work), then facts, then query atoms. *)
+let step ~reproduces (case : Case.t) =
+  let try_case c = if reproduces c then Some c else None in
+  let rules = Program.tgds case.Case.program in
+  let try_rule i =
+    match Program.make ~name:case.Case.program.Program.name (drop_nth i rules) with
+    | Error _ -> None
+    | Ok p -> try_case { case with Case.program = p }
+  in
+  let try_fact i = try_case { case with Case.facts = drop_nth i case.Case.facts } in
+  let try_atom i =
+    match
+      safe_query ~name:case.Case.query.Cq.name ~answer:case.Case.query.Cq.answer
+        ~body:(drop_nth i case.Case.query.Cq.body)
+    with
+    | None -> None
+    | Some q -> try_case { case with Case.query = q }
+  in
+  let rec first f n i = if i >= n then None else match f i with Some _ as r -> r | None -> first f n (i + 1) in
+  match first try_rule (List.length rules) 0 with
+  | Some _ as r -> r
+  | None -> (
+    match first try_fact (List.length case.Case.facts) 0 with
+    | Some _ as r -> r
+    | None -> first try_atom (List.length case.Case.query.Cq.body) 0)
+
+let minimize ~reproduces case =
+  let rec loop case fuel =
+    if fuel = 0 then case
+    else
+      match step ~reproduces case with
+      | None -> case
+      | Some smaller -> loop smaller (fuel - 1)
+  in
+  (* The fuel bound is the total number of droppable elements — each step
+     removes exactly one, so this is enough to reach any fixpoint. *)
+  let budget =
+    List.length (Program.tgds case.Case.program)
+    + List.length case.Case.facts
+    + List.length case.Case.query.Cq.body
+  in
+  loop case budget

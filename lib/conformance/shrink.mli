@@ -1,0 +1,11 @@
+(** Greedy structural shrinking of failing cases.
+
+    [minimize ~reproduces case] repeatedly tries dropping one TGD, then one
+    fact, then one query body atom, keeping any variant for which
+    [reproduces] still returns [true], until a fixpoint. Candidate variants
+    are always well-formed: rule deletion goes through {!Tgd_logic.Program.make}
+    (rejecting programs that lose validity), and query shrinking preserves
+    safety (every answer variable still occurs in the body) and a non-empty
+    body. The result reproduces the failure whenever the input did. *)
+
+val minimize : reproduces:(Case.t -> bool) -> Case.t -> Case.t

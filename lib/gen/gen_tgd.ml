@@ -26,10 +26,30 @@ let default_config =
   }
 
 (* A fixed predicate universe: p0..p{n-1}, arity chosen per predicate from a
-   deterministic stream of the generator. *)
-let predicates rng cfg =
-  Array.init cfg.n_predicates (fun i ->
+   deterministic stream of the generator.
+
+   The declared signature is explicit and first-class: every generator that
+   emits atoms is closed over one signature value, so a predicate can never
+   appear at two arities inside a generated workload. Before this was
+   enforced, each call re-rolled the arities for the same interned symbols,
+   and composing two draws (a program from one call, facts or extra rules
+   from another) produced arity conflicts that only surfaced deep inside
+   [Instance.relation_for] / [Instance.build_indexes] at load or eval
+   time. *)
+type signature = (Symbol.t * int) list
+
+let signature rng cfg =
+  List.init cfg.n_predicates (fun i ->
       (Symbol.intern (Printf.sprintf "p%d" i), 1 + Rng.int rng cfg.max_arity))
+
+let closed_over sg p =
+  List.for_all
+    (fun (pred, arity) ->
+      match List.assoc_opt pred sg with Some declared -> declared = arity | None -> false)
+    (Program.predicates p)
+
+let predicates ?signature:sg rng cfg =
+  match sg with Some s -> Array.of_list s | None -> Array.of_list (signature rng cfg)
 
 let var i = Term.var (Printf.sprintf "Y%d" i)
 
@@ -75,19 +95,23 @@ let random_rule rng cfg preds name =
   let head = List.init n_head (fun _ -> head_atom ()) in
   Tgd.make ~name ~body ~head
 
-let random_program ?(name = "random") rng cfg =
-  let preds = predicates rng cfg in
+let random_program ?(name = "random") ?signature:sg rng cfg =
+  let preds = predicates ?signature:sg rng cfg in
   let rules =
     List.init cfg.n_rules (fun i -> random_rule rng cfg preds (Printf.sprintf "r%d" (i + 1)))
   in
-  Program.make_exn ~name rules
+  let p = Program.make_exn ~name rules in
+  (match sg with
+  | Some sg -> assert (closed_over sg p)
+  | None -> ());
+  p
 
-let random_simple_program ?(name = "random_simple") rng cfg =
+let random_simple_program ?(name = "random_simple") ?signature:sg rng cfg =
   let cfg = { cfg with constant_rate = 0.0; repeat_rate = 0.0; max_head_atoms = 1 } in
   (* Reject rules with repeated variables inside an atom (the free generator
      can still repeat a body variable across positions of one atom through
      the body-variable pool). *)
-  let preds = predicates rng cfg in
+  let preds = predicates ?signature:sg rng cfg in
   let rec simple_rule i =
     let r = random_rule rng cfg preds (Printf.sprintf "r%d" i) in
     if Tgd.is_simple r then r else simple_rule i
@@ -95,10 +119,13 @@ let random_simple_program ?(name = "random_simple") rng cfg =
   let rules = List.init cfg.n_rules (fun i -> simple_rule (i + 1)) in
   Program.make_exn ~name rules
 
-let simple_linear ?(name = "linear") rng ~n_rules ~n_predicates ~max_arity =
+let simple_linear ?(name = "linear") ?signature:sg rng ~n_rules ~n_predicates ~max_arity =
   let preds =
-    Array.init n_predicates (fun i ->
-        (Symbol.intern (Printf.sprintf "p%d" i), 1 + Rng.int rng max_arity))
+    match sg with
+    | Some s -> Array.of_list s
+    | None ->
+      Array.init n_predicates (fun i ->
+          (Symbol.intern (Printf.sprintf "p%d" i), 1 + Rng.int rng max_arity))
   in
   let rule i =
     let bp, ba = Rng.choose_array rng preds in

@@ -24,15 +24,41 @@ type config = {
 
 val default_config : config
 
-val random_program : ?name:string -> Rng.t -> config -> Program.t
-(** Free generator; no class guarantee. *)
+type signature = (Symbol.t * int) list
+(** A declared relational signature: each predicate with its single arity.
+    Draw it once with {!signature} and thread it through every generator
+    call of a workload — programs, extra rules, facts ({!Gen_db}) — so that
+    all components agree on arities. Without a shared signature, every call
+    re-rolls arities for the same interned predicate names, and composing
+    two draws can use one predicate at two arities, an inconsistency that
+    {!Tgd_db.Instance} only reports when the facts are loaded or evaluated. *)
 
-val random_simple_program : ?name:string -> Rng.t -> config -> Program.t
+val signature : Rng.t -> config -> signature
+(** Declare [n_predicates] predicates [p0 .. p{n-1}] with arities drawn in
+    [1 .. max_arity]. *)
+
+val closed_over : signature -> Program.t -> bool
+(** Every predicate of the program is declared, at the declared arity. *)
+
+val random_program : ?name:string -> ?signature:signature -> Rng.t -> config -> Program.t
+(** Free generator; no class guarantee. With [?signature] the result is
+    guaranteed closed over it (post-condition checked). *)
+
+val random_simple_program : ?name:string -> ?signature:signature -> Rng.t -> config -> Program.t
 (** Free generator restricted to simple TGDs (no constants, no repeated
-    variables, single-head). *)
+    variables, single-head). With [?signature] the result is closed over
+    it. *)
 
-val simple_linear : ?name:string -> Rng.t -> n_rules:int -> n_predicates:int -> max_arity:int -> Program.t
-(** Constructive: simple TGDs with a single body atom. *)
+val simple_linear :
+  ?name:string ->
+  ?signature:signature ->
+  Rng.t ->
+  n_rules:int ->
+  n_predicates:int ->
+  max_arity:int ->
+  Program.t
+(** Constructive: simple TGDs with a single body atom. [n_predicates] and
+    [max_arity] are ignored when [?signature] is given. *)
 
 val simple_multilinear : ?name:string -> Rng.t -> n_rules:int -> n_predicates:int -> arity:int -> Program.t
 (** Constructive: every body atom contains all body variables (bodies are

@@ -1,0 +1,135 @@
+(* Table-driven classifier suite over the curated ontologies in
+   examples/ontologies/. Each entry pins the FULL membership vector, so any
+   classifier change that moves a boundary (a false positive into sticky, a
+   lost linear witness, ...) fails with the exact field named. The vectors
+   were hand-checked against the definitions in the paper (Sections 3-6). *)
+
+module C = Tgd_core.Classifier
+
+type vector = {
+  simple : bool;
+  datalog : bool;
+  linear : bool;
+  guarded : bool;
+  multilinear : bool;
+  sticky : bool;
+  sticky_join : bool;
+  weakly_acyclic : bool;
+  domain_restricted : bool;
+  acyclic_grd : bool;
+  swr : bool;
+  wr : bool;
+  fo_rewritable : bool;  (** some implemented witness class applies *)
+}
+
+let expected : (string * vector) list =
+  [
+    ( "linear_hierarchy.tgd",
+      (* single-atom bodies, no repeated variables: the DL-Lite sweet spot *)
+      { simple = true; datalog = false; linear = true; guarded = true; multilinear = true;
+        sticky = true; sticky_join = true; weakly_acyclic = true; domain_restricted = false;
+        acyclic_grd = true; swr = true; wr = true; fo_rewritable = true } );
+    ( "multilinear_roles.tgd",
+      (* two-atom bodies where every atom is a guard: multilinear, not linear *)
+      { simple = true; datalog = false; linear = false; guarded = true; multilinear = true;
+        sticky = true; sticky_join = true; weakly_acyclic = true; domain_restricted = true;
+        acyclic_grd = true; swr = true; wr = true; fo_rewritable = true } );
+    ( "datalog_closure.tgd",
+      (* recursive transitive closure: terminating chase, NOT FO-rewritable *)
+      { simple = true; datalog = true; linear = false; guarded = false; multilinear = false;
+        sticky = false; sticky_join = false; weakly_acyclic = true; domain_restricted = false;
+        acyclic_grd = false; swr = false; wr = false; fo_rewritable = false } );
+    ( "weakly_acyclic_witness.tgd",
+      (* an existential that never feeds back: weakly acyclic AND linear *)
+      { simple = true; datalog = false; linear = true; guarded = true; multilinear = true;
+        sticky = true; sticky_join = true; weakly_acyclic = true; domain_restricted = false;
+        acyclic_grd = true; swr = true; wr = true; fo_rewritable = true } );
+    ( "infinite_chase_linear.tgd",
+      (* every person has a parent: infinite chase, still rewritable *)
+      { simple = true; datalog = false; linear = true; guarded = true; multilinear = true;
+        sticky = true; sticky_join = true; weakly_acyclic = false; domain_restricted = false;
+        acyclic_grd = false; swr = true; wr = true; fo_rewritable = true } );
+    ( "sticky_selection.tgd",
+      (* unmarked join variable: sticky without being guarded or linear *)
+      { simple = true; datalog = true; linear = false; guarded = false; multilinear = false;
+        sticky = true; sticky_join = true; weakly_acyclic = true; domain_restricted = false;
+        acyclic_grd = true; swr = true; wr = true; fo_rewritable = true } );
+    ( "guarded_not_sticky.tgd",
+      (* a guard exists in every body, but the marked join variable recurs *)
+      { simple = true; datalog = false; linear = false; guarded = true; multilinear = false;
+        sticky = false; sticky_join = false; weakly_acyclic = true; domain_restricted = false;
+        acyclic_grd = true; swr = true; wr = true; fo_rewritable = true } );
+    ( "paper_example1.tgd",
+      (* the paper's Example 1: sticky, neither linear nor guarded *)
+      { simple = true; datalog = false; linear = false; guarded = false; multilinear = false;
+        sticky = true; sticky_join = true; weakly_acyclic = true; domain_restricted = false;
+        acyclic_grd = false; swr = true; wr = true; fo_rewritable = true } );
+    ( "paper_example3.tgd",
+      (* the paper's Example 3: not simple, not WA, WR via the acyclic GRD *)
+      { simple = false; datalog = false; linear = false; guarded = true; multilinear = false;
+        sticky = false; sticky_join = false; weakly_acyclic = false; domain_restricted = false;
+        acyclic_grd = true; swr = false; wr = true; fo_rewritable = true } );
+  ]
+
+let dir = Filename.concat (Filename.concat ".." "examples") "ontologies"
+
+let load file =
+  let path = Filename.concat dir file in
+  match Tgd_parser.Parser.parse_file path with
+  | Error e -> Alcotest.fail (Format.asprintf "%s: parse error: %a" file Tgd_parser.Parser.pp_error e)
+  | Ok doc -> (
+    match Tgd_parser.Parser.program_of_document ~name:file doc with
+    | Ok p -> p
+    | Error msg -> Alcotest.fail (file ^ ": " ^ msg))
+
+let check_vector file want () =
+  let r = C.classify (load file) in
+  let field name got expect =
+    Alcotest.(check bool) (file ^ ": " ^ name) expect got
+  in
+  field "simple" r.C.simple want.simple;
+  field "datalog" r.C.datalog want.datalog;
+  field "linear" r.C.linear want.linear;
+  field "guarded" r.C.guarded want.guarded;
+  field "multilinear" r.C.multilinear want.multilinear;
+  field "sticky" r.C.sticky want.sticky;
+  field "sticky-join" r.C.sticky_join want.sticky_join;
+  field "weakly-acyclic" r.C.weakly_acyclic want.weakly_acyclic;
+  field "domain-restricted" r.C.domain_restricted want.domain_restricted;
+  field "acyclic-grd" r.C.acyclic_grd want.acyclic_grd;
+  field "swr" r.C.swr want.swr;
+  field "wr" r.C.wr want.wr;
+  field "wr analysis completed" r.C.wr_established true;
+  field "fo-rewritable witness" (C.fo_rewritable_witness r <> None) want.fo_rewritable
+
+(* Every curated ontology, packaged as a conformance case with a canonical
+   single-atom query, must pass the subsumption invariant — the same lattice
+   the fuzzer checks on random inputs holds on the curated boundary set. *)
+let check_subsumption_invariant file () =
+  let p = load file in
+  let open Tgd_logic in
+  let pred, arity = List.hd (Program.predicates p) in
+  let query =
+    Cq.make ~name:"q"
+      ~answer:[ Term.var "X0" ]
+      ~body:[ Atom.make pred (List.init arity (fun i -> Term.var (Printf.sprintf "X%d" (min i 1)))) ]
+  in
+  let case = Tgd_conformance.Case.make ~label:file ~program:p ~facts:[] query in
+  let inv = Option.get (Tgd_conformance.Invariant.find "subsumption") in
+  match inv.Tgd_conformance.Invariant.check Tgd_conformance.Oracle.real case with
+  | Tgd_conformance.Invariant.Pass -> ()
+  | o ->
+    Alcotest.fail (file ^ ": " ^ Tgd_conformance.Invariant.outcome_to_string o)
+
+let () =
+  Alcotest.run "class_vectors"
+    [
+      ( "vectors",
+        List.map
+          (fun (file, want) -> Alcotest.test_case file `Quick (check_vector file want))
+          expected );
+      ( "subsumption",
+        List.map
+          (fun (file, _) -> Alcotest.test_case file `Quick (check_subsumption_invariant file))
+          expected );
+    ]

@@ -145,6 +145,19 @@ let test_data_csv () =
   Alcotest.(check int) "exit 0" 0 code;
   Alcotest.(check bool) "csv fact used" true (contains out "(bob)")
 
+(* `obda fuzz` must be bit-deterministic in (--seed, --cases): the nightly
+   workflow relies on a failure being reproducible from the summary alone. *)
+let test_fuzz_deterministic () =
+  let code1, out1 = run_cmd "fuzz --seed 91 --cases 25" in
+  let code2, out2 = run_cmd "fuzz --seed 91 --cases 25" in
+  Alcotest.(check int) "exit 0" 0 code1;
+  Alcotest.(check int) "same exit" code1 code2;
+  Alcotest.(check string) "same report" out1 out2;
+  Alcotest.(check bool) "per-invariant table present" true (contains out1 "subsumption");
+  let code3, out3 = run_cmd "fuzz --seed 92 --cases 25 --json" in
+  Alcotest.(check int) "json exit 0" 0 code3;
+  Alcotest.(check bool) "json summary" true (contains out3 "\"per_invariant\"")
+
 let () =
   if not (Sys.file_exists obda) then begin
     (* Defensive: the dune deps field guarantees the binary exists; make the
@@ -166,5 +179,6 @@ let () =
           Alcotest.test_case "patterns" `Quick test_patterns;
           Alcotest.test_case "parse errors" `Quick test_parse_error_reporting;
           Alcotest.test_case "csv data" `Quick test_data_csv;
+          Alcotest.test_case "fuzz deterministic" `Quick test_fuzz_deterministic;
         ] );
     ]

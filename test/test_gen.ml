@@ -221,6 +221,51 @@ let test_random_instance_signature () =
         Alcotest.(check bool) "populated" true (Tgd_db.Relation.cardinality rel > 0))
     (Program.predicates p)
 
+(* Regression: generated TGD sets must be closed over a declared signature.
+   Before the fix, every generator call re-rolled arities for the same
+   interned predicate names ([p0], [p1], ...), so composing two draws — a
+   program from one call, facts generated against another call's arities —
+   could use one predicate at two arities, and the conflict only surfaced
+   inside [Instance.relation_for] when the facts were loaded (or at
+   [build_indexes]/eval time). With a shared [Gen_tgd.signature] the
+   composition is closed by construction. *)
+let test_signature_closure_regression () =
+  let g = Rng.create 20260805 in
+  let cfg = { Gen_tgd.default_config with n_predicates = 6; max_arity = 3; n_rules = 5 } in
+  let sg = Gen_tgd.signature g cfg in
+  (* Facts drawn once against the declared signature... *)
+  let shared = Gen_db.random_facts_for g sg ~facts_per_predicate:3 ~domain_size:4 in
+  for i = 0 to 30 do
+    (* ...must load against every program generated over that signature. *)
+    let p = Gen_tgd.random_program ~name:(Printf.sprintf "sg%d" i) ~signature:sg g cfg in
+    Alcotest.(check bool) "closed over declared signature" true (Gen_tgd.closed_over sg p);
+    let inst = Gen_db.random_instance g p ~facts_per_predicate:2 ~domain_size:4 in
+    (* Merging the shared facts into the program's instance must never hit
+       an arity conflict (this is what blew up before the fix). *)
+    Tgd_db.Instance.iter_facts
+      (fun (pred, t) -> ignore (Tgd_db.Instance.add_fact inst pred t))
+      shared;
+    Tgd_db.Instance.build_indexes inst;
+    (* Simple and linear draws share the same closure guarantee. *)
+    let ps = Gen_tgd.random_simple_program ~signature:sg g cfg in
+    Alcotest.(check bool) "simple draw closed" true (Gen_tgd.closed_over sg ps);
+    let pl = Gen_tgd.simple_linear ~signature:sg g ~n_rules:4 ~n_predicates:6 ~max_arity:3 in
+    Alcotest.(check bool) "linear draw closed" true (Gen_tgd.closed_over sg pl)
+  done;
+  (* Witness that the hazard is real without a shared signature: two
+     independent draws are each internally consistent but may disagree on
+     an arity, which [closed_over] detects against the other's signature. *)
+  let independent_disagreement =
+    List.exists
+      (fun seed ->
+        let ga = Rng.create seed and gb = Rng.create (seed + 1000) in
+        let pa = Gen_tgd.random_program ga cfg in
+        let sgb = Gen_tgd.signature gb cfg in
+        not (Gen_tgd.closed_over sgb pa))
+      (List.init 20 (fun i -> 100 + i))
+  in
+  Alcotest.(check bool) "unshared draws can disagree on arities" true independent_disagreement
+
 let () =
   Alcotest.run "gen"
     [
@@ -241,6 +286,8 @@ let () =
           Alcotest.test_case "acceptance sampling" `Quick test_sample_in_class;
           Alcotest.test_case "chain family" `Quick test_chain_family;
           Alcotest.test_case "star family" `Quick test_star_family;
+          Alcotest.test_case "signature closure regression" `Quick
+            test_signature_closure_regression;
         ] );
       ( "dl-lite",
         [

@@ -313,6 +313,180 @@ let test_system_without_mappings () =
   let a = Obda_system.answer sys ~source:data q in
   Alcotest.(check int) "sam is a person" 1 (List.length a.Obda_system.tuples)
 
+(* ------------------------------------------------------------------ *)
+(* Property tests: randomized mappings, programs and databases under a
+   fixed seed. Each property states a semantic equivalence the OBDA layer
+   promises, mirroring the conformance harness's oracle style. *)
+
+module Rng = Tgd_gen.Rng
+
+let source_schema = [ ("s0", 2); ("s1", 3); ("s2", 1) ]
+let onto_schema = [ ("o0", 1); ("o1", 2); ("o2", 2) ]
+
+let random_source_body rng =
+  List.init
+    (1 + Rng.int rng 2)
+    (fun _ ->
+      let name, arity = Rng.choose rng source_schema in
+      atom name (List.init arity (fun _ -> v (Printf.sprintf "V%d" (Rng.int rng 4)))))
+
+(* A safe GAV mapping: the target's variables are drawn from the source
+   body's variables (constants fill target positions otherwise). *)
+let random_mapping rng i =
+  let source = random_source_body rng in
+  let vars =
+    Symbol.Set.elements
+      (List.fold_left (fun acc a -> Symbol.Set.union acc (Atom.vars a)) Symbol.Set.empty source)
+  in
+  let name, arity = Rng.choose rng onto_schema in
+  let target =
+    Atom.make (Symbol.intern name)
+      (List.init arity (fun _ ->
+           if vars <> [] && Rng.bool rng 0.8 then Term.Var (Rng.choose rng vars)
+           else c (Printf.sprintf "k%d" (Rng.int rng 3))))
+  in
+  Mapping.make ~name:(Printf.sprintf "m%d" i) ~source ~target
+
+let random_source_db rng =
+  Instance.of_atoms
+    (List.concat_map
+       (fun (name, arity) ->
+         List.init
+           (2 + Rng.int rng 4)
+           (fun _ ->
+             atom name (List.init arity (fun _ -> c (Printf.sprintf "d%d" (Rng.int rng 4))))))
+       source_schema)
+
+let random_onto_cq rng =
+  let body =
+    List.init
+      (1 + Rng.int rng 2)
+      (fun _ ->
+        let name, arity = Rng.choose rng onto_schema in
+        atom name (List.init arity (fun _ -> v (Printf.sprintf "X%d" (Rng.int rng 3)))))
+  in
+  let vars =
+    Symbol.Set.elements
+      (List.fold_left (fun acc a -> Symbol.Set.union acc (Atom.vars a)) Symbol.Set.empty body)
+  in
+  let answer = List.filter (fun _ -> Rng.bool rng 0.5) vars |> List.map (fun x -> Term.Var x) in
+  Cq.make ~name:"q" ~answer ~body
+
+(* Unfolding a query to the source schema and evaluating there must agree
+   with materializing the virtual ABox and evaluating the query over it. *)
+let test_prop_unfold_vs_materialize () =
+  let rng = Rng.create 2014 in
+  for i = 0 to 99 do
+    let mappings = List.init (2 + Rng.int rng 4) (random_mapping rng) in
+    let db = random_source_db rng in
+    let q = random_onto_cq rng in
+    let unfolded = Unfold.ucq mappings [ q ] in
+    let via_unfold = Eval.ucq db unfolded in
+    let via_abox = Eval.cq (Mapping.materialize mappings db) q in
+    if not (tuples_equal via_unfold via_abox) then
+      Alcotest.fail
+        (Printf.sprintf "iteration %d: unfold gives %d tuple(s), materialization %d for %s" i
+           (List.length via_unfold) (List.length via_abox) (Cq.to_string q))
+  done
+
+(* The sound side of the approximation: the kept subset really is WR, it
+   never grows, and kept + removed is a partition of the input rules. *)
+let test_prop_wr_subset_classified () =
+  let rng = Rng.create 7 in
+  let cfg =
+    {
+      Tgd_gen.Gen_tgd.default_config with
+      Tgd_gen.Gen_tgd.n_predicates = 4;
+      max_arity = 2;
+      n_rules = 4;
+      max_body_atoms = 2;
+      max_head_atoms = 1;
+      existential_rate = 0.4;
+    }
+  in
+  for i = 0 to 39 do
+    let p = Tgd_gen.Gen_tgd.random_simple_program rng cfg in
+    let kept, removed = Approximation.wr_subset p in
+    let verdict = Tgd_core.Wr.check kept in
+    if not verdict.Tgd_core.Wr.wr then
+      Alcotest.fail (Printf.sprintf "iteration %d: wr_subset kept a non-WR program" i);
+    Alcotest.(check int)
+      (Printf.sprintf "iteration %d: partition" i)
+      (Program.size p)
+      (Program.size kept + List.length removed)
+  done
+
+(* The complete side: the relaxation is existential-free (plain Datalog)
+   and the classifier recognises it as such. *)
+let test_prop_datalog_relaxation_classified () =
+  let rng = Rng.create 8 in
+  let cfg =
+    {
+      Tgd_gen.Gen_tgd.default_config with
+      Tgd_gen.Gen_tgd.n_predicates = 4;
+      max_arity = 2;
+      n_rules = 4;
+      max_body_atoms = 2;
+      max_head_atoms = 1;
+      existential_rate = 0.5;
+    }
+  in
+  for i = 0 to 39 do
+    let p = Tgd_gen.Gen_tgd.random_simple_program rng cfg in
+    let relaxed = Approximation.datalog_relaxation p in
+    List.iter
+      (fun r ->
+        if not (Symbol.Set.is_empty (Tgd.existential_head_vars r)) then
+          Alcotest.fail
+            (Printf.sprintf "iteration %d: rule %s keeps an existential" i r.Tgd.name))
+      (Program.tgds relaxed);
+    let report = Tgd_core.Classifier.classify relaxed in
+    if not report.Tgd_core.Classifier.datalog then
+      Alcotest.fail (Printf.sprintf "iteration %d: relaxation not classified datalog" i);
+    if not report.Tgd_core.Classifier.weakly_acyclic then
+      Alcotest.fail (Printf.sprintf "iteration %d: relaxation not weakly acyclic" i)
+  done
+
+(* The interval really brackets: lower ⊆ upper on arbitrary inputs. *)
+let test_prop_interval_ordered () =
+  let rng = Rng.create 9 in
+  let cfg =
+    {
+      Tgd_gen.Gen_tgd.default_config with
+      Tgd_gen.Gen_tgd.n_predicates = 3;
+      max_arity = 2;
+      n_rules = 3;
+      max_body_atoms = 2;
+      max_head_atoms = 1;
+      existential_rate = 0.4;
+    }
+  in
+  for i = 0 to 29 do
+    let p = Tgd_gen.Gen_tgd.random_simple_program rng cfg in
+    let inst =
+      Tgd_gen.Gen_db.random_instance rng p ~facts_per_predicate:3 ~domain_size:3
+    in
+    let preds = Program.predicates p in
+    let pred, arity = Rng.choose rng preds in
+    let q =
+      Cq.make ~name:"q"
+        ~answer:[ Term.Var (Symbol.intern "X0") ]
+        ~body:
+          [
+            Atom.make pred
+              (List.init arity (fun j -> v (Printf.sprintf "X%d" (if j = 0 then 0 else Rng.int rng 2))));
+          ]
+    in
+    let interval = Approximation.interval_answers p inst q in
+    let subset small big =
+      List.for_all (fun t -> List.exists (Tuple.equal t) big) small
+    in
+    if not (subset interval.Approximation.lower interval.Approximation.upper) then
+      Alcotest.fail (Printf.sprintf "iteration %d: lower not within upper" i);
+    if interval.Approximation.exact && not (tuples_equal interval.Approximation.lower interval.Approximation.upper)
+    then Alcotest.fail (Printf.sprintf "iteration %d: exact but bounds differ" i)
+  done
+
 let () =
   Alcotest.run "obda"
     [
@@ -352,5 +526,14 @@ let () =
           Alcotest.test_case "sql over source schema" `Quick test_system_sql_over_source_schema;
           Alcotest.test_case "consistency end-to-end" `Quick test_system_consistency;
           Alcotest.test_case "no mappings" `Quick test_system_without_mappings;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "unfold = materialize-then-evaluate" `Quick
+            test_prop_unfold_vs_materialize;
+          Alcotest.test_case "wr_subset output is WR" `Quick test_prop_wr_subset_classified;
+          Alcotest.test_case "relaxation is classified datalog" `Quick
+            test_prop_datalog_relaxation_classified;
+          Alcotest.test_case "interval bounds ordered" `Quick test_prop_interval_ordered;
         ] );
     ]
