@@ -907,6 +907,119 @@ let e16 () =
   row "  wrote BENCH_serve.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E17 lives in the conformance harness (obda fuzz / test_conformance);  *)
+(* it has no timing dimension, so there is no bench section for it.      *)
+
+(* ------------------------------------------------------------------ *)
+(* E18: morsel-driven parallel evaluation — per-core scaling.           *)
+
+let e18 () =
+  section "E18 (parallel eval): morsel-driven scaling across workers and instance size";
+  let v = Term.var in
+  let q =
+    Cq.make ~name:"q" ~answer:[ v "X" ]
+      ~body:[ Atom.of_strings "r" [ v "X"; v "Y" ]; Atom.of_strings "s" [ v "Y" ] ]
+  in
+  (* r(x_i, y_{i mod keys}) joined with s over a third of the key domain:
+     every answer requires an index probe, the lead relation partitions
+     evenly on its first column, and the answer set is ~n/3 tuples — big
+     enough that the merge phase is exercised too. *)
+  let build n =
+    let inst = Tgd_db.Instance.create () in
+    let add pred vals =
+      ignore
+        (Tgd_db.Instance.add_fact inst (Symbol.intern pred)
+           (Array.of_list (List.map Tgd_db.Value.const vals)))
+    in
+    let keys = max 1 (n / 10) in
+    for i = 0 to n - 1 do
+      add "r" [ Printf.sprintf "x%d" i; Printf.sprintf "y%d" (i mod keys) ]
+    done;
+    let j = ref 0 in
+    while !j < keys do
+      add "s" [ Printf.sprintf "y%d" !j ];
+      j := !j + 3
+    done;
+    inst
+  in
+  let workers_list = [ 1; 2; 4 ] in
+  let host_domains = Parallel.domain_count () in
+  row "  host domains: %d (speedup expects >= 4 cores; identity is checked everywhere)\n"
+    host_domains;
+  row "  %-10s %9s %9s %12s %9s %10s\n" "facts" "answers" "workers" "t_eval" "speedup" "identical";
+  let results =
+    List.map
+      (fun n ->
+        let inst = build n in
+        let reference = Tgd_db.Eval.ucq inst [ q ] in
+        let k = if n >= 1_000_000 then 1 else 3 in
+        let runs =
+          List.map
+            (fun w ->
+              Tgd_db.Instance.seal ~partitions:(w * 4) inst;
+              let answers = ref [] in
+              let t =
+                time_median ~k (fun () -> answers := Tgd_db.Par_eval.ucq ~workers:w inst [ q ])
+              in
+              let identical =
+                List.length !answers = List.length reference
+                && List.for_all2 Tgd_db.Tuple.equal !answers reference
+              in
+              (w, t, identical))
+            workers_list
+        in
+        let t1 = match runs with (_, t, _) :: _ -> t | [] -> 0.0 in
+        List.iter
+          (fun (w, t, identical) ->
+            row "  %-10d %9d %9d %10.2fms %8.2fx %10s\n" n (List.length reference) w (t *. 1000.)
+              (t1 /. t)
+              (if identical then "yes" else "NO"))
+          runs;
+        (n, List.length reference, runs))
+      [ 1_000; 10_000; 100_000; 1_000_000 ]
+  in
+  let all_identical =
+    List.for_all (fun (_, _, runs) -> List.for_all (fun (_, _, id) -> id) runs) results
+  in
+  check "parallel answers byte-identical to sequential at every size/worker count"
+    ~expected:"yes" ~got:(if all_identical then "yes" else "no");
+  (* Informational on this host; the CI artifact records whether the 4-vCPU
+     runner reaches the >= 2x mark at 10^5+. *)
+  (match
+     List.find_opt (fun (n, _, _) -> n >= 100_000) results
+     |> Option.map (fun (_, _, runs) ->
+            let t1 = List.assoc 1 (List.map (fun (w, t, _) -> (w, t)) runs) in
+            let t4 = List.assoc 4 (List.map (fun (w, t, _) -> (w, t)) runs) in
+            t1 /. t4)
+   with
+  | Some s when host_domains >= 4 ->
+    check ">= 2x speedup at 4 workers on the 10^5-fact instance" ~expected:"yes"
+      ~got:(if s >= 2.0 then "yes" else "no")
+  | Some s -> row "  (4-worker speedup at 10^5 facts: %.2fx — host has < 4 domains, not scored)\n" s
+  | None -> ());
+  let oc = open_out "BENCH_parallel_eval.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": \"bench_parallel_eval/v1\",\n";
+  out "  \"host_domains\": %d,\n" host_domains;
+  out "  \"query\": \"q(X) :- r(X,Y), s(Y)\",\n";
+  out "  \"sizes\": [\n";
+  List.iteri
+    (fun i (n, answers, runs) ->
+      let t1 = match runs with (_, t, _) :: _ -> t | [] -> 0.0 in
+      out "    {\"facts\": %d, \"answers\": %d, \"runs\": [" n answers;
+      List.iteri
+        (fun j (w, t, identical) ->
+          out "%s{\"workers\": %d, \"wall_ms\": %.3f, \"speedup\": %.2f, \"identical\": %b}"
+            (if j = 0 then "" else ", ")
+            w (t *. 1000.) (t1 /. t) identical)
+        runs;
+      out "]}%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  out "  ]\n}\n";
+  close_out oc;
+  row "  wrote BENCH_parallel_eval.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
@@ -1027,5 +1140,6 @@ let () =
   e14 ();
   e15 ();
   e16 ();
+  e18 ();
   if not quick then run_bechamel ();
   Printf.printf "\nAll experiments done.\n"

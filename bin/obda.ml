@@ -242,10 +242,34 @@ let rewrite_cmd =
 (* ------------------------------------------------------------------ *)
 (* answer                                                              *)
 
+let eval_workers_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "eval-workers" ] ~docv:"N"
+        ~doc:
+          "Domains used by morsel-parallel query evaluation; 1 forces the sequential path. \
+           Default: $(b,TGDLIB_DOMAINS) if set, else one per core (capped at 8). Answers are \
+           identical to the sequential path's.")
+
+let resolve_eval_workers = function
+  | Some n when n >= 1 -> n
+  | Some n ->
+    Format.eprintf "bad --eval-workers: %d (must be >= 1)@." n;
+    exit 2
+  | None -> Tgd_exec.Pool.default_workers ()
+
 let answer_cmd =
-  let run path method_ data_files budget deadline stats_json =
+  let run path method_ data_files eval_workers budget deadline stats_json =
     let p, doc = load_program path in
     let inst = load_instance doc data_files in
+    let eval_workers = resolve_eval_workers eval_workers in
+    let pool =
+      if eval_workers > 1 then Some (Tgd_exec.Pool.create ~workers:eval_workers ()) else None
+    in
+    (* The instance is fully loaded: seal (and partition, when parallel) so
+       evaluation reads are race-free and scans split into shard morsels. *)
+    if eval_workers > 1 then Tgd_db.Instance.seal ~partitions:(eval_workers * 4) inst;
+    Fun.protect ~finally:(fun () -> Option.iter Tgd_exec.Pool.shutdown pool) @@ fun () ->
     (* A supplied governor bypasses the chase's own round/fact defaults, so
        merge them into the budget when the spec leaves them unset. *)
     let b =
@@ -264,7 +288,9 @@ let answer_cmd =
       let gov = fresh_governor b in
       let r = Tgd_rewrite.Rewrite.ucq ~gov p q in
       let answers =
-        Tgd_db.Eval.ucq ~gov inst r.Tgd_rewrite.Rewrite.ucq
+        (if eval_workers > 1 then
+           Tgd_db.Par_eval.ucq ~gov ?pool ~workers:eval_workers inst r.Tgd_rewrite.Rewrite.ucq
+         else Tgd_db.Eval.ucq ~gov inst r.Tgd_rewrite.Rewrite.ucq)
         |> List.filter (fun t -> not (Tgd_db.Tuple.has_null t))
       in
       record ("answer.rewriting:" ^ q.Cq.name) gov;
@@ -276,7 +302,7 @@ let answer_cmd =
     in
     let answer_by_chase q =
       let gov = fresh_governor b in
-      let r = Tgd_chase.Certain.cq ~gov p inst q in
+      let r = Tgd_chase.Certain.cq ~gov ?pool ~eval_workers p inst q in
       record ("answer.chase:" ^ q.Cq.name) gov;
       (r.Tgd_chase.Certain.answers, r.Tgd_chase.Certain.exact)
     in
@@ -313,7 +339,9 @@ let answer_cmd =
   Cmd.v
     (Cmd.info "answer"
        ~doc:"Compute certain answers to the queries in the file over its facts.")
-    Term.(const run $ path $ method_ $ data_arg $ budget_arg $ deadline_arg $ stats_json_arg)
+    Term.(
+      const run $ path $ method_ $ data_arg $ eval_workers_arg $ budget_arg $ deadline_arg
+      $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chase                                                               *)
@@ -436,13 +464,14 @@ let approx_cmd =
 (* serve                                                               *)
 
 let serve_cmd =
-  let run workers queue_bound cache_capacity budget deadline socket =
+  let run workers queue_bound cache_capacity eval_workers budget deadline socket =
     let base_budget =
       match (budget, deadline) with
       | None, None -> None (* keep the server's own default *)
       | _ -> Some (budget_of_flags budget deadline)
     in
-    let server = Tgd_serve.Server.create ~cache_capacity ?base_budget () in
+    let server = Tgd_serve.Server.create ~cache_capacity ?base_budget ~eval_workers () in
+    Fun.protect ~finally:(fun () -> Tgd_serve.Server.shutdown server) @@ fun () ->
     match socket with
     | Some path ->
       Format.eprintf "obda serve: listening on unix socket %s@." path;
@@ -469,6 +498,15 @@ let serve_cmd =
       & info [ "cache-capacity" ] ~docv:"N"
           ~doc:"Prepared-query LRU cache capacity (canonical CQ + ontology epoch entries).")
   in
+  let eval_workers =
+    Arg.(
+      value & opt int 1
+      & info [ "eval-workers" ] ~docv:"N"
+          ~doc:
+            "Domains for morsel-parallel evaluation of each executed query (a dedicated pool, \
+             distinct from $(b,--workers)' request pool). Default 1: parallelize many light \
+             queries via $(b,--workers); raise this instead when single heavy queries dominate.")
+  in
   let socket =
     Arg.(
       value & opt (some string) None
@@ -484,7 +522,8 @@ let serve_cmd =
           conjunctive queries over a prepared-rewriting cache, speaking a JSONL protocol \
           (register-ontology, load-csv, prepare, execute, stats, ping, shutdown).")
     Term.(
-      const run $ workers $ queue_bound $ cache_capacity $ budget_arg $ deadline_arg $ socket)
+      const run $ workers $ queue_bound $ cache_capacity $ eval_workers $ budget_arg
+      $ deadline_arg $ socket)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -599,7 +638,7 @@ let fuzz_cmd =
       & info [ "invariant" ] ~docv:"NAME"
           ~doc:
             "Check a single invariant (subsumption, differential, metamorphic, serve, \
-             truncation) instead of the full registry.")
+             eval-parallel, truncation) instead of the full registry.")
   in
   let no_shrink =
     Arg.(
@@ -634,8 +673,8 @@ let fuzz_cmd =
          "Metamorphic conformance fuzzing: sweep a seeded stream of class-biased (ontology, \
           instance, query) cases through the cross-layer invariant registry (classifier \
           subsumption, rewrite/chase differential, metamorphic transforms, serve-path \
-          equivalence, truncation soundness), shrinking and persisting any failure. Exits 1 if \
-          any invariant fails.")
+          equivalence, eval-parallelism, truncation soundness), shrinking and persisting any \
+          failure. Exits 1 if any invariant fails.")
     Term.(
       const run $ seed $ cases $ corpus $ replay_dir $ invariant $ no_shrink $ stop_after $ json
       $ trace $ dump_dir)

@@ -6,10 +6,26 @@ type result = {
   chase : Chase.stats;
 }
 
-let ucq ?variant ?max_rounds ?max_facts ?gov program inst disjuncts =
+let ucq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers program inst disjuncts =
   let work = Instance.copy inst in
   let chase = Chase.run ?variant ?max_rounds ?max_facts ?gov program work in
-  let answers = Eval.ucq ?gov work disjuncts |> List.filter (fun t -> not (Tuple.has_null t)) in
+  let answers =
+    let workers =
+      match (eval_workers, pool) with
+      | Some w, _ -> w
+      | None, Some p -> Tgd_exec.Pool.size p
+      | None, None -> 1
+    in
+    (if workers <= 1 then Eval.ucq ?gov work disjuncts
+     else begin
+       (* The chase is over: the materialized instance is now read-only, so
+          seal it (partitioned on the worker count) for race-free parallel
+          evaluation. *)
+       Instance.seal ~partitions:(workers * 4) work;
+       Par_eval.ucq ?gov ?pool ~workers work disjuncts
+     end)
+    |> List.filter (fun t -> not (Tuple.has_null t))
+  in
   let exact =
     (* Exact iff the chase reached a universal model AND the evaluation was
        not cut short by the governor afterwards. *)
@@ -18,5 +34,5 @@ let ucq ?variant ?max_rounds ?max_facts ?gov program inst disjuncts =
   in
   { answers; exact; chase }
 
-let cq ?variant ?max_rounds ?max_facts ?gov program inst q =
-  ucq ?variant ?max_rounds ?max_facts ?gov program inst [ q ]
+let cq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers program inst q =
+  ucq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers program inst [ q ]

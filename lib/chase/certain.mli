@@ -21,6 +21,8 @@ val ucq :
   ?max_rounds:int ->
   ?max_facts:int ->
   ?gov:Tgd_exec.Governor.t ->
+  ?pool:Tgd_exec.Pool.t ->
+  ?eval_workers:int ->
   Program.t ->
   Instance.t ->
   Cq.ucq ->
@@ -29,13 +31,21 @@ val ucq :
     [exact] is false the answers are a sound under-approximation of the
     certain answers. A supplied governor spans both phases — chase
     materialization and query evaluation — so one deadline covers the whole
-    certain-answer computation. *)
+    certain-answer computation.
+
+    Evaluation over the materialized instance runs sequentially by default;
+    with [eval_workers > 1] (or a [pool]) the instance is sealed after the
+    chase and the query runs through {!Tgd_db.Par_eval} on that many
+    workers. [eval_workers] defaults to the [pool]'s size when only a pool
+    is given. *)
 
 val cq :
   ?variant:Chase.variant ->
   ?max_rounds:int ->
   ?max_facts:int ->
   ?gov:Tgd_exec.Governor.t ->
+  ?pool:Tgd_exec.Pool.t ->
+  ?eval_workers:int ->
   Program.t ->
   Instance.t ->
   Cq.t ->

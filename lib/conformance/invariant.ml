@@ -321,7 +321,30 @@ let check_serve (o : Oracle.t) (case : Case.t) =
   end
 
 (* ------------------------------------------------------------------ *)
-(* 5. Truncation soundness                                              *)
+(* 5. Parallel evaluation equals sequential evaluation                  *)
+
+let check_eval_parallel (o : Oracle.t) (case : Case.t) =
+  let rw = o.Oracle.rewrite ~config:bounded_rewrite_config case.Case.program case.Case.query in
+  if not (complete rw) then Skip "rewriting budget hit"
+  else begin
+    let seq = o.Oracle.eval_ucq (Case.instance case) rw.Tgd_rewrite.Rewrite.ucq in
+    (* Worker and partition counts are derived from the case seed so every
+       replay exercises the same configuration. *)
+    let workers = 2 + (case.Case.seed land 3) in
+    let partitions = 1 + ((case.Case.seed lsr 2) land 7) in
+    let par =
+      o.Oracle.eval_ucq_par ~workers ~partitions (Case.instance case)
+        rw.Tgd_rewrite.Rewrite.ucq
+    in
+    if tuples_equal seq par then Pass
+    else
+      Fail
+        (Printf.sprintf "parallel evaluation (%d workers, %d partitions) gives %s but sequential gives %s"
+           workers partitions (show_tuples par) (show_tuples seq))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* 6. Truncation soundness                                              *)
 
 let check_truncation (o : Oracle.t) (case : Case.t) =
   let p = case.Case.program and q = case.Case.query in
@@ -381,6 +404,11 @@ let all =
       name = "serve";
       describe = "serve path byte-identical to direct evaluation across epochs and cache states";
       check = check_serve;
+    };
+    {
+      name = "eval-parallel";
+      describe = "morsel-parallel evaluation agrees with sequential evaluation";
+      check = check_eval_parallel;
     };
     {
       name = "truncation";

@@ -7,6 +7,8 @@ type t = {
   rewrite_union :
     config:Tgd_rewrite.Rewrite.config -> Program.t -> Cq.ucq -> Tgd_rewrite.Rewrite.result;
   eval_ucq : Tgd_db.Instance.t -> Cq.ucq -> Tgd_db.Tuple.t list;
+  eval_ucq_par :
+    workers:int -> partitions:int -> Tgd_db.Instance.t -> Cq.ucq -> Tgd_db.Tuple.t list;
   certain_cq :
     max_rounds:int ->
     max_facts:int ->
@@ -49,6 +51,14 @@ let real =
     eval_ucq =
       (fun inst u ->
         Tgd_db.Eval.ucq inst u |> List.filter (fun t -> not (Tgd_db.Tuple.has_null t)));
+    eval_ucq_par =
+      (fun ~workers ~partitions inst u ->
+        Tgd_db.Instance.seal ~partitions inst;
+        (* min_tuples:1 forces the morsel machinery even on fuzz-scale
+           instances, which would otherwise all take the sequential
+           fallback and test nothing. *)
+        Tgd_db.Par_eval.ucq ~workers ~min_tuples:1 inst u
+        |> List.filter (fun t -> not (Tgd_db.Tuple.has_null t)));
     certain_cq =
       (fun ~max_rounds ~max_facts p inst q ->
         Tgd_chase.Certain.cq ~gov:(governed ~max_rounds ~max_facts) p inst q);

@@ -31,6 +31,28 @@ let count_bound env a =
   let rec loop i acc = if i >= n then acc else loop (i + 1) (acc + if Option.is_some (bound_value env a i) then 1 else 0) in
   loop 0 0
 
+(* Does [a] share a variable, still unbound under [env], with another
+   remaining atom? An atom with no such variable is isolated: choosing it
+   early turns the join into a cross product that multiplies all later work
+   by its cardinality, so the planner sinks isolated atoms below joinable
+   ones. *)
+let joins_ahead env remaining i (a : Atom.t) =
+  let unbound_vars (b : Atom.t) =
+    Array.fold_left
+      (fun acc t ->
+        match t with
+        | Term.Var v when not (Symbol.Map.mem v env) -> v :: acc
+        | Term.Var _ | Term.Const _ -> acc)
+      [] b.Atom.args
+  in
+  let mine = unbound_vars a in
+  mine <> []
+  && List.exists
+       (fun (j, b, _) ->
+         j <> i
+         && List.exists (fun v -> List.exists (fun w -> Symbol.compare v w = 0) (unbound_vars b)) mine)
+       remaining
+
 let relation_size inst (a : Atom.t) =
   match Instance.relation inst a.Atom.pred with
   | None -> 0
@@ -77,10 +99,15 @@ let bindings ?gov ?(init = Symbol.Map.empty) ?forced inst atoms k =
       | [] -> k env
       | _ ->
       (* Adaptive greedy choice: forced atom first, then most bound
-         positions, then smaller relation. *)
+         positions, then atoms joined to the rest through a still-unbound
+         shared variable (isolated atoms cross-product, so they go last),
+         then smaller relation. *)
       let score (i, a, size) =
-        if i = forced_index then (max_int, 0)
-        else (count_bound env a, -size)
+        if i = forced_index then (max_int, 0, 0)
+        else
+          ( count_bound env a,
+            (if joins_ahead env remaining i a then 1 else 0),
+            -size )
       in
       let best =
         List.fold_left
@@ -100,6 +127,26 @@ let bindings ?gov ?(init = Symbol.Map.empty) ?forced inst atoms k =
           tuples)
   in
   go init tagged
+
+let lead inst atoms =
+  match List.mapi (fun i a -> (i, a, relation_size inst a)) atoms with
+  | [] -> invalid_arg "Eval.lead: empty body"
+  | first :: _ as tagged ->
+    let env = Symbol.Map.empty in
+    let score (i, a, size) =
+      ( count_bound env a,
+        (if joins_ahead env tagged i a then 1 else 0),
+        -size )
+    in
+    let _, best =
+      List.fold_left
+        (fun (s, x) y ->
+          let s' = score y in
+          if s' > s then (s', y) else (s, x))
+        (score first, first) tagged
+    in
+    let i, a, _ = best in
+    (i, candidates inst env a)
 
 let answer_tuple env answer =
   let value = function

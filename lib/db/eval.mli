@@ -2,7 +2,9 @@
 
     The evaluator performs an index-nested-loop join with an adaptive greedy
     plan: at every step the next atom is the one with the most bound
-    positions, breaking ties towards the smaller relation. Bound positions
+    positions, preferring atoms joined to the remaining ones through a
+    still-unbound shared variable over isolated (cross-product) atoms, and
+    breaking remaining ties towards the smaller relation. Bound positions
     are served from the per-column hash indexes of {!Relation}.
 
     Every entry point takes an optional {!Tgd_exec.Governor}: a governed
@@ -30,6 +32,13 @@ val bindings :
     (default empty). With [~forced:(i, tuples)], the [i]-th atom (0-based, in
     list order) ranges over [tuples] instead of its full relation — the hook
     used by semi-naive Datalog evaluation. *)
+
+val lead : Instance.t -> Atom.t list -> int * Tuple.t list
+(** The planner's first choice under the empty environment: the index (in
+    list order) of the atom it would evaluate first and that atom's
+    candidate tuples. Exposed so {!Par_eval} can split exactly the scan the
+    sequential plan would perform into morsels. Raises [Invalid_argument]
+    on an empty body. *)
 
 val answer_tuple : env -> Term.t list -> Tuple.t
 (** Build the answer tuple for the given answer terms under an assignment.

@@ -66,6 +66,9 @@ let of_atoms atoms =
 let build_indexes inst =
   Symbol.Table.iter (fun _ rel -> Relation.build_all_indexes rel) inst.relations
 
+let seal ?partitions inst =
+  Symbol.Table.iter (fun _ rel -> Relation.seal ?partitions rel) inst.relations
+
 let pp ppf inst =
   let pp_fact ppf (pred, t) = Format.fprintf ppf "%a%a" Symbol.pp pred Tuple.pp t in
   Format.fprintf ppf "@[<v>%a@]"

@@ -7,7 +7,10 @@ type t
 type fact = Symbol.t * Tuple.t
 
 val create : unit -> t
+
 val copy : t -> t
+(** Deep copy: relations (and their tuples' identity) are shared-nothing,
+    so chasing the copy never disturbs the original. *)
 
 val add_fact : t -> Symbol.t -> Tuple.t -> bool
 (** [true] iff the fact is new. Creates the relation on first use; raises
@@ -18,8 +21,14 @@ val add_ground_atom : t -> Atom.t -> bool
 (** The atom must be ground (constants only). *)
 
 val relation : t -> Symbol.t -> Relation.t option
+(** [None] when the predicate has no facts yet. *)
+
 val predicates : t -> (Symbol.t * int) list
+(** Every predicate with its arity, sorted by name. *)
+
 val cardinality : t -> int
+(** Total fact count across all relations. *)
+
 val iter_facts : (fact -> unit) -> t -> unit
 val facts : t -> fact list
 
@@ -34,5 +43,10 @@ val build_indexes : t -> unit
     for concurrent reads): once no more facts are added, evaluation from
     any number of domains is race-free because {!Relation.lookup} no longer
     builds indexes lazily. *)
+
+val seal : ?partitions:int -> t -> unit
+(** {!build_indexes}, plus — when [partitions] is given — hash-partition
+    every relation into that many shards (see {!Relation.seal}) so
+    {!Par_eval} can split scans into morsels. *)
 
 val pp : Format.formatter -> t -> unit

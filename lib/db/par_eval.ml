@@ -1,0 +1,119 @@
+(* Morsel-driven parallel UCQ evaluation.
+
+   For each disjunct the engine takes the scan the sequential planner would
+   run first ([Eval.lead]), splits it into morsels — the relation's hash
+   partition shards when the atom is an unconstrained scan over a sealed
+   relation, fixed-size chunks of the candidate list otherwise — and runs
+   the remaining join for each morsel on a worker via [Eval.bindings]'s
+   [~forced] hook. Workers deduplicate locally, then merge into a shared
+   answer table under a mutex; the final sort makes the result byte-equal
+   to the sequential path's. The shared governor is polled by every worker,
+   so budgets and truncation semantics survive parallelism (the [eval.steps]
+   total stays exact: telemetry counters are atomic). *)
+
+open Tgd_logic
+
+let default_min_tuples = 512
+
+(* Aim for a few morsels per worker so the dynamic scheduler can balance
+   uneven morsel costs, but keep morsels big enough to amortize dispatch. *)
+let morsels_of_list ~workers tuples =
+  let len = List.length tuples in
+  let target = workers * 4 in
+  let chunk = max 64 ((len + target - 1) / target) in
+  let rec take n acc rest =
+    match rest with
+    | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+    | _ -> (List.rev acc, rest)
+  in
+  let rec go acc rest =
+    match rest with
+    | [] -> List.rev acc
+    | _ ->
+      let m, rest = take chunk [] rest in
+      go (m :: acc) rest
+  in
+  Array.of_list (go [] tuples)
+
+let shard_morsels inst (a : Atom.t) =
+  let unconstrained =
+    Array.for_all (function Term.Var _ -> true | Term.Const _ -> false) a.Atom.args
+  in
+  if not unconstrained then None
+  else
+    Option.bind (Instance.relation inst a.Atom.pred) Relation.partition
+    |> Option.map (fun (_pos, shards) ->
+           Array.to_list shards
+           |> List.filter_map (fun s ->
+                  if Array.length s = 0 then None else Some (Array.to_list s))
+           |> Array.of_list)
+
+let ucq ?gov ?pool ?workers ?(min_tuples = default_min_tuples) inst disjuncts =
+  let workers =
+    match (workers, pool) with
+    | Some w, _ -> max 1 w
+    | None, Some p -> Tgd_exec.Pool.size p
+    | None, None -> Tgd_exec.Pool.default_workers ()
+  in
+  if workers <= 1 then Eval.ucq ?gov inst disjuncts
+  else begin
+    (match gov with
+    | Some g -> Tgd_exec.Governor.gauge g "eval.par.workers" workers
+    | None -> ());
+    let acc = Tuple.Table.create 64 in
+    let lock = Mutex.create () in
+    let merge local =
+      let t0 = Unix.gettimeofday () in
+      Mutex.lock lock;
+      Tuple.Table.iter
+        (fun t () -> if not (Tuple.Table.mem acc t) then Tuple.Table.add acc t ())
+        local;
+      Mutex.unlock lock;
+      match gov with
+      | Some g ->
+        Tgd_exec.Telemetry.add_span (Tgd_exec.Governor.telemetry g) "eval.par.merge"
+          (Unix.gettimeofday () -. t0)
+      | None -> ()
+    in
+    let run_batch n f =
+      match pool with
+      | Some p -> Tgd_exec.Pool.run_morsels p ~n f
+      | None -> Parallel.parallel_for ~domains:workers ~n f
+    in
+    List.iter
+      (fun (q : Cq.t) ->
+        (* Disjuncts run one after another; only the morsel batch below is
+           concurrent, so the sequential path may write [acc] directly. *)
+        let collect_seq () =
+          Eval.bindings ?gov inst q.Cq.body (fun env ->
+              let t = Eval.answer_tuple env q.Cq.answer in
+              if not (Tuple.Table.mem acc t) then Tuple.Table.add acc t ())
+        in
+        match q.Cq.body with
+        | [] -> collect_seq ()
+        | body ->
+          let lead_idx, lead_tuples = Eval.lead inst body in
+          if List.length lead_tuples < min_tuples then collect_seq ()
+          else begin
+            let lead_atom = List.nth body lead_idx in
+            let morsels =
+              match shard_morsels inst lead_atom with
+              | Some shards when Array.length shards > 1 -> shards
+              | Some _ | None -> morsels_of_list ~workers lead_tuples
+            in
+            let n = Array.length morsels in
+            (match gov with
+            | Some g -> Tgd_exec.Governor.charge ~n g "eval.morsels"
+            | None -> ());
+            run_batch n (fun m ->
+                let local = Tuple.Table.create 256 in
+                Eval.bindings ?gov ~forced:(lead_idx, morsels.(m)) inst body (fun env ->
+                    let t = Eval.answer_tuple env q.Cq.answer in
+                    if not (Tuple.Table.mem local t) then Tuple.Table.add local t ());
+                merge local)
+          end)
+      disjuncts;
+    Tuple.Table.fold (fun t () l -> t :: l) acc [] |> List.sort Tuple.compare
+  end
+
+let cq ?gov ?pool ?workers ?min_tuples inst q = ucq ?gov ?pool ?workers ?min_tuples inst [ q ]

@@ -1,0 +1,55 @@
+(** Morsel-driven parallel evaluation of conjunctive queries and unions
+    thereof.
+
+    The engine parallelizes exactly the scan the sequential planner would
+    perform first ({!Eval.lead}): the leading atom's candidate tuples are
+    split into morsels — the relation's hash-partition shards when the atom
+    is an unconstrained scan over a relation sealed with
+    {!Relation.seal}[ ~partitions], fixed-size chunks otherwise — and each
+    morsel runs the remaining join on a worker through {!Eval.bindings}'s
+    [~forced] hook. Per-worker answer sets are deduplicated locally and
+    merged under a mutex; results are byte-identical to {!Eval.ucq}'s
+    (same deduplication, same final sort).
+
+    Governance survives parallelism: all workers poll the one shared
+    governor, [eval.steps] totals stay exact (telemetry counters are
+    atomic), and once the governor trips every worker winds down, yielding
+    the same partial-answer contract as the sequential path. The engine
+    additionally charges [eval.morsels] per dispatched morsel, records the
+    [eval.par.workers] peak gauge and accumulates merge time in the
+    [eval.par.merge] phase.
+
+    The instance must not be mutated during evaluation; callers seal it
+    first ({!Instance.seal}) so index reads are race-free. *)
+
+open Tgd_logic
+
+val default_min_tuples : int
+(** Leading-scan size below which evaluation falls back to the sequential
+    path (per disjunct): 512. *)
+
+val ucq :
+  ?gov:Tgd_exec.Governor.t ->
+  ?pool:Tgd_exec.Pool.t ->
+  ?workers:int ->
+  ?min_tuples:int ->
+  Instance.t ->
+  Cq.ucq ->
+  Tuple.t list
+(** Union of the answers of the disjuncts, deduplicated and sorted — the
+    parallel counterpart of {!Eval.ucq}. Worker count is [workers] if
+    given, else the [pool]'s size, else {!Tgd_exec.Pool.default_workers};
+    with one worker (or a leading scan under [min_tuples]) the sequential
+    path runs unchanged. Morsels are dispatched through [pool] when given
+    (the caller participates; see {!Tgd_exec.Pool.run_morsels}), otherwise
+    through short-lived domains ({!Tgd_logic.Parallel.parallel_for}). *)
+
+val cq :
+  ?gov:Tgd_exec.Governor.t ->
+  ?pool:Tgd_exec.Pool.t ->
+  ?workers:int ->
+  ?min_tuples:int ->
+  Instance.t ->
+  Cq.t ->
+  Tuple.t list
+(** [ucq] on a single disjunct. *)

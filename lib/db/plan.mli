@@ -22,5 +22,11 @@ type step = {
 type t = step list
 
 val choose : Instance.t -> Cq.t -> t
+(** The greedy static order for this query over this instance's current
+    statistics (relation cardinalities, which columns would be bound). *)
+
 val pp : Format.formatter -> t -> unit
+(** One line per step: access path, relation size, newly bound variables. *)
+
 val explain : Instance.t -> Cq.t -> string
+(** [pp] of [choose] as a string — the [obda] CLI's plan printout. *)

@@ -5,15 +5,26 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
+type partition = {
+  pos : int;
+  shards : Tuple.t array array;
+}
+
 type t = {
   arity : int;
   rows : unit Tuple.Table.t;
   indexes : Tuple.t list Vtbl.t option array; (* one optional index per column *)
+  mutable partition : partition option;
 }
 
 let create ~arity =
   if arity < 0 then invalid_arg "Relation.create: negative arity";
-  { arity; rows = Tuple.Table.create 64; indexes = Array.make (max arity 1) None }
+  {
+    arity;
+    rows = Tuple.Table.create 64;
+    indexes = Array.make (max arity 1) None;
+    partition = None;
+  }
 
 let arity r = r.arity
 let cardinality r = Tuple.Table.length r.rows
@@ -32,6 +43,9 @@ let insert r t =
     Array.iteri
       (fun pos idx -> match idx with None -> () | Some idx -> index_insert idx t pos)
       r.indexes;
+    (* Shards are a frozen snapshot of the rows; a grown relation must not
+       serve stale shards to the parallel evaluator. *)
+    r.partition <- None;
     true
   end
 
@@ -54,3 +68,55 @@ let lookup r ~pos v =
   if pos < 0 || pos >= r.arity then invalid_arg "Relation.lookup: position out of range";
   let idx = match r.indexes.(pos) with Some idx -> idx | None -> build_index r pos in
   Option.value ~default:[] (Vtbl.find_opt idx v)
+
+(* ------------------------------------------------------------------ *)
+(* Hash partitioning                                                   *)
+
+(* The partition position is the column with the most distinct values: its
+   hash spreads the rows most evenly, so the shards — the scan units handed
+   to parallel workers — stay balanced. *)
+let partition_position r =
+  if r.arity = 0 then 0
+  else begin
+    let best = ref 0 and best_distinct = ref (-1) in
+    for pos = 0 to r.arity - 1 do
+      let distinct =
+        match r.indexes.(pos) with Some idx -> Vtbl.length idx | None -> -1
+      in
+      if distinct > !best_distinct then begin
+        best := pos;
+        best_distinct := distinct
+      end
+    done;
+    !best
+  end
+
+let build_partition r ~parts =
+  if parts <= 0 then invalid_arg "Relation.seal: partitions must be positive";
+  let parts = max 1 (min parts (max 1 (cardinality r))) in
+  let pos = partition_position r in
+  let shard_of t =
+    if r.arity = 0 then 0 else (Value.hash t.(pos) land max_int) mod parts
+  in
+  let counts = Array.make parts 0 in
+  iter (fun t -> counts.(shard_of t) <- counts.(shard_of t) + 1) r;
+  let shards = Array.init parts (fun i -> Array.make counts.(i) [||]) in
+  let fill = Array.make parts 0 in
+  iter
+    (fun t ->
+      let s = shard_of t in
+      shards.(s).(fill.(s)) <- t;
+      fill.(s) <- fill.(s) + 1)
+    r;
+  r.partition <- Some { pos; shards }
+
+let seal ?partitions r =
+  build_all_indexes r;
+  match partitions with
+  | None -> ()
+  | Some parts -> (
+    match r.partition with
+    | Some p when Array.length p.shards = max 1 (min parts (max 1 (cardinality r))) -> ()
+    | Some _ | None -> build_partition r ~parts)
+
+let partition r = Option.map (fun p -> (p.pos, p.shards)) r.partition

@@ -1,5 +1,7 @@
 (** A mutable extensional relation: a set of tuples of a fixed arity with
-    per-column hash indexes (built lazily, maintained incrementally). *)
+    per-column hash indexes (built lazily, maintained incrementally) and an
+    optional hash partition into shards, the scan units of morsel-driven
+    parallel evaluation ({!Par_eval}). *)
 
 type t
 
@@ -24,3 +26,15 @@ val build_all_indexes : t -> unit
 (** Force every column index to exist. After this, a relation that is no
     longer inserted into can serve {!lookup} from any number of domains
     concurrently — nothing on the read path mutates. *)
+
+val seal : ?partitions:int -> t -> unit
+(** {!build_all_indexes}, and — when [partitions] is given — hash-partition
+    the rows into (at most) that many shards on the column with the most
+    distinct values, so the shards come out balanced. Idempotent for a given
+    shard count; raises [Invalid_argument] when [partitions <= 0]. The
+    partition is a frozen snapshot: any later {!insert} discards it. *)
+
+val partition : t -> (int * Tuple.t array array) option
+(** The partition column and the shards built by the last {!seal}
+    [~partitions], if still valid. Every row appears in exactly one shard;
+    two rows sharing the partition column's value share a shard. *)

@@ -13,9 +13,16 @@ type t = {
   (* Highest epoch ever used per name: survives re-registration so epochs
      stay monotone over the registry's lifetime. *)
   last_epoch : (string, int) Hashtbl.t;
+  partitions : int option;
 }
 
-let create () = { lock = Mutex.create (); entries = Hashtbl.create 8; last_epoch = Hashtbl.create 8 }
+let create ?partitions () =
+  {
+    lock = Mutex.create ();
+    entries = Hashtbl.create 8;
+    last_epoch = Hashtbl.create 8;
+    partitions;
+  }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -27,7 +34,7 @@ let next_epoch t name =
   e
 
 let install t name program instance =
-  Tgd_db.Instance.build_indexes instance;
+  Tgd_db.Instance.seal ?partitions:t.partitions instance;
   locked t (fun () ->
       let entry = { name; epoch = next_epoch t name; program; instance } in
       Hashtbl.replace t.entries name entry;

@@ -26,7 +26,10 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?partitions:int -> unit -> t
+(** With [partitions], every installed instance is additionally
+    hash-partitioned into that many shards ({!Tgd_db.Instance.seal}) so the
+    server's parallel evaluator can split scans into morsels. *)
 
 val register : t -> name:string -> ?facts:Tgd_db.Instance.t -> Program.t -> entry
 (** Install (or replace) an ontology under [name]. The optional initial

@@ -1,47 +1,16 @@
+(* A thin admission-control wrapper over the shared Domain pool
+   (Tgd_exec.Pool): the pool owns the queue and the worker domains, this
+   layer owns the serving telemetry (admission, shedding, failure
+   accounting). *)
+
 type reject =
   [ `Overloaded of int
   | `Closed ]
 
 type t = {
-  lock : Mutex.t;
-  nonempty : Condition.t;
-  idle : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  bound : int;
-  mutable closed : bool;
-  mutable running : int;
-  mutable domains : unit Domain.t list;
+  pool : Tgd_exec.Pool.t;
   telemetry : Tgd_exec.Telemetry.t;
 }
-
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
-
-let worker t () =
-  let rec loop () =
-    Mutex.lock t.lock;
-    while Queue.is_empty t.queue && not t.closed do
-      Condition.wait t.nonempty t.lock
-    done;
-    if Queue.is_empty t.queue then begin
-      (* closed and drained *)
-      Mutex.unlock t.lock;
-      ()
-    end
-    else begin
-      let job = Queue.pop t.queue in
-      t.running <- t.running + 1;
-      Mutex.unlock t.lock;
-      (try job ()
-       with _ -> ignore (Tgd_exec.Telemetry.add t.telemetry "serve.jobs.failed" 1));
-      locked t (fun () ->
-          t.running <- t.running - 1;
-          if t.running = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle);
-      loop ()
-    end
-  in
-  loop ()
 
 let create ?workers ?(queue_bound = 64) ~telemetry () =
   if queue_bound <= 0 then invalid_arg "Scheduler.create: queue_bound must be positive";
@@ -51,34 +20,15 @@ let create ?workers ?(queue_bound = 64) ~telemetry () =
     | Some _ -> invalid_arg "Scheduler.create: workers must be positive"
     | None -> Tgd_logic.Parallel.domain_count ()
   in
-  let t =
-    {
-      lock = Mutex.create ();
-      nonempty = Condition.create ();
-      idle = Condition.create ();
-      queue = Queue.create ();
-      bound = queue_bound;
-      closed = false;
-      running = 0;
-      domains = [];
-      telemetry;
-    }
-  in
-  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
-  t
+  { pool = Tgd_exec.Pool.create ~workers ~queue_bound (); telemetry }
 
 let submit t job =
-  let verdict =
-    locked t (fun () ->
-        if t.closed then Error `Closed
-        else if Queue.length t.queue >= t.bound then Error (`Overloaded (Queue.length t.queue))
-        else begin
-          Queue.push job t.queue;
-          Condition.signal t.nonempty;
-          Ok (Queue.length t.queue)
-        end)
+  (* The pool contains raising jobs but does not account for them; wrap the
+     thunk so a failed request is charged before the exception is dropped. *)
+  let guarded () =
+    try job () with _ -> ignore (Tgd_exec.Telemetry.add t.telemetry "serve.jobs.failed" 1)
   in
-  match verdict with
+  match Tgd_exec.Pool.submit t.pool guarded with
   | Ok depth ->
     ignore (Tgd_exec.Telemetry.add t.telemetry "serve.jobs" 1);
     Tgd_exec.Telemetry.gauge t.telemetry "serve.queue.peak" depth;
@@ -88,25 +38,7 @@ let submit t job =
     ignore (Tgd_exec.Telemetry.add t.telemetry "serve.overloaded" 1);
     Error (`Overloaded d)
 
-let drain t =
-  locked t (fun () ->
-      while not (Queue.is_empty t.queue && t.running = 0) do
-        Condition.wait t.idle t.lock
-      done)
-
-let shutdown t =
-  let doms =
-    locked t (fun () ->
-        if t.closed then []
-        else begin
-          t.closed <- true;
-          Condition.broadcast t.nonempty;
-          let doms = t.domains in
-          t.domains <- [];
-          doms
-        end)
-  in
-  List.iter Domain.join doms
-
-let queue_depth t = locked t (fun () -> Queue.length t.queue)
-let workers t = locked t (fun () -> List.length t.domains)
+let drain t = Tgd_exec.Pool.drain t.pool
+let shutdown t = Tgd_exec.Pool.shutdown t.pool
+let queue_depth t = Tgd_exec.Pool.queue_depth t.pool
+let workers t = Tgd_exec.Pool.size t.pool

@@ -11,7 +11,11 @@
     Jobs run at most once, on exactly one worker; a raising job is
     contained (the exception is swallowed after charging
     [serve.jobs.failed]) so one bad request can never take a worker down.
-    Jobs must do their own response writing/synchronization. *)
+    Jobs must do their own response writing/synchronization.
+
+    The queue and the worker domains themselves live in the shared
+    {!Tgd_exec.Pool}; this layer adds the serving telemetry (admission,
+    shedding, failure accounting) on top. *)
 
 type t
 

@@ -6,6 +6,8 @@ type t = {
   telemetry : Tgd_exec.Telemetry.t;
   base_budget : Tgd_exec.Budget.t;
   config : Tgd_rewrite.Rewrite.config;
+  eval_workers : int;
+  eval_pool : Tgd_exec.Pool.t option;
 }
 
 let default_budget =
@@ -16,16 +18,26 @@ let default_budget =
   }
 
 let create ?(cache_capacity = 1024) ?(base_budget = default_budget)
-    ?(config = Tgd_rewrite.Rewrite.default_config) () =
+    ?(config = Tgd_rewrite.Rewrite.default_config) ?(eval_workers = 1) () =
+  if eval_workers <= 0 then invalid_arg "Server.create: eval_workers must be positive";
   let telemetry = Tgd_exec.Telemetry.create () in
   {
-    registry = Registry.create ();
+    registry =
+      (* Partitioned instances give the parallel evaluator its shard
+         morsels; a sequential server skips the partitioning work. *)
+      (if eval_workers > 1 then Registry.create ~partitions:(eval_workers * 4) ()
+       else Registry.create ());
     cache = Prepared.create ~capacity:cache_capacity ~telemetry ();
     telemetry;
     base_budget;
     (* Workers must not spawn nested domain pools for UCQ minimization. *)
     config = { config with Tgd_rewrite.Rewrite.domains = Some 1 };
+    eval_workers;
+    eval_pool =
+      (if eval_workers > 1 then Some (Tgd_exec.Pool.create ~workers:eval_workers ()) else None);
   }
+
+let shutdown t = Option.iter Tgd_exec.Pool.shutdown t.eval_pool
 
 let telemetry t = t.telemetry
 let registry t = t.registry
@@ -138,7 +150,10 @@ let handle_query t ~ontology ~query ~budget ~eval =
           let fields =
             if eval then begin
               let answers =
-                Tgd_db.Eval.ucq ~gov entry.Registry.instance prepared.Prepared.ucq
+                (if t.eval_workers > 1 then
+                   Tgd_db.Par_eval.ucq ~gov ?pool:t.eval_pool ~workers:t.eval_workers
+                     entry.Registry.instance prepared.Prepared.ucq
+                 else Tgd_db.Eval.ucq ~gov entry.Registry.instance prepared.Prepared.ucq)
                 |> List.filter (fun tup -> not (Tgd_db.Tuple.has_null tup))
               in
               let exact =

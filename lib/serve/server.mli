@@ -25,13 +25,28 @@ val create :
   ?cache_capacity:int ->
   ?base_budget:Tgd_exec.Budget.t ->
   ?config:Tgd_rewrite.Rewrite.config ->
+  ?eval_workers:int ->
   unit ->
   t
 (** A fresh server state. [base_budget] (default: 8s deadline, 200k
     rewrite.cqs) bounds every request unless the request supplies its own
     [budget] spec, which is parsed on top of the base. [config] is the
     rewriting configuration; its [domains] field is forced to 1 — worker
-    domains must not spawn nested pools. *)
+    domains must not spawn nested pools.
+
+    [eval_workers] (default 1) > 1 switches per-request UCQ evaluation to
+    the morsel-parallel engine ({!Tgd_db.Par_eval}) over a dedicated
+    {!Tgd_exec.Pool} of that many domains, and makes the registry
+    hash-partition every installed instance so scans split into shard
+    morsels. This parallelizes {e one heavy query}; the request-level
+    [workers] of {!run} parallelize {e many light queries} — the two pools
+    are distinct, so a request worker blocking on an eval batch can never
+    deadlock the admission queue. Call {!shutdown} when done to join the
+    eval pool. Raises [Invalid_argument] when [eval_workers <= 0]. *)
+
+val shutdown : t -> unit
+(** Join the parallel-evaluation pool, if any. Idempotent; a sequential
+    server ([eval_workers = 1]) has nothing to shut down. *)
 
 val telemetry : t -> Tgd_exec.Telemetry.t
 (** The server-wide aggregate sink. *)

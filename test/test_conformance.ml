@@ -29,7 +29,7 @@ let test_fixed_seed_sweep () =
   let summary = Harness.run ~seed ~cases () in
   if summary.Harness.failed > 0 then Alcotest.fail (Harness.summary_to_string summary);
   Alcotest.(check int) "every case swept" cases summary.Harness.cases;
-  Alcotest.(check int) "five checks per case" (cases * 5) summary.Harness.checks
+  Alcotest.(check int) "six checks per case" (cases * 6) summary.Harness.checks
 
 (* ------------------------------------------------------------------ *)
 (* Determinism                                                          *)
@@ -132,6 +132,21 @@ let test_mutant_differential () =
     }
   in
   expect_caught ~name:"dropped-tuple" ~invariant:"differential" ~cases:60 mutant
+
+(* A parallel evaluator that drops the first answer tuple: the eval-parallel
+   invariant sees it disagree with the sequential path. *)
+let test_mutant_eval_parallel () =
+  let mutant =
+    {
+      Oracle.real with
+      Oracle.eval_ucq_par =
+        (fun ~workers ~partitions inst u ->
+          match Oracle.real.Oracle.eval_ucq_par ~workers ~partitions inst u with
+          | [] -> []
+          | _ :: rest -> rest);
+    }
+  in
+  expect_caught ~name:"dropped-tuple-parallel" ~invariant:"eval-parallel" ~cases:40 mutant
 
 (* A cache key that is NOT invariant under variable renaming: prepared
    entries would miss (or collide) across alpha-equivalent queries. *)
@@ -251,6 +266,8 @@ let () =
         [
           Alcotest.test_case "subsumption catches lattice fault" `Quick test_mutant_subsumption;
           Alcotest.test_case "differential catches dropped tuple" `Quick test_mutant_differential;
+          Alcotest.test_case "eval-parallel catches dropped tuple" `Quick
+            test_mutant_eval_parallel;
           Alcotest.test_case "metamorphic catches non-canonical key" `Quick
             test_mutant_metamorphic;
           Alcotest.test_case "serve catches phantom row" `Quick test_mutant_serve;

@@ -166,6 +166,34 @@ let test_eval_ucq_union_dedup () =
   (* sources: a,b,c ; targets: b,c,a,c -> union {a,b,c} *)
   Alcotest.(check int) "deduplicated union" 3 (List.length (Eval.ucq db [ q1; q2 ]))
 
+(* Regression: the greedy planner must sink isolated (cross-product) atoms
+   below atoms joined to the rest of the body, even when the isolated
+   relation is the smallest. With t first, the a-r join below runs once per
+   t-tuple (~4800 join-search steps); with t last it runs once (~2500). *)
+let test_eval_planner_sinks_isolated_atoms () =
+  let atoms = ref [] in
+  for i = 0 to 59 do
+    let n = Printf.sprintf "n%d" i in
+    atoms := atom "a" [ c n ] :: atom "r" [ c n; c n ] :: !atoms
+  done;
+  for j = 0 to 39 do
+    atoms := atom "t" [ c (Printf.sprintf "m%d" j) ] :: !atoms
+  done;
+  let db = Instance.of_atoms !atoms in
+  let q =
+    Cq.make ~name:"q" ~answer:[ v "X" ]
+      ~body:[ atom "t" [ v "Z" ]; atom "a" [ v "X" ]; atom "r" [ v "X"; v "Y" ] ]
+  in
+  let tel = Tgd_exec.Telemetry.create () in
+  let gov = Tgd_exec.Governor.create ~telemetry:tel () in
+  let answers = Eval.cq ~gov db q in
+  Alcotest.(check int) "answers" 60 (List.length answers);
+  let steps = Tgd_exec.Telemetry.get tel "eval.steps" in
+  Alcotest.(check bool)
+    (Printf.sprintf "join-search steps (%d) bounded: isolated atom evaluated last" steps)
+    true
+    (steps <= 3_000)
+
 let test_eval_forced () =
   let db = sample_db () in
   let body = [ atom "edge" [ v "X"; v "Y" ] ] in
@@ -424,6 +452,7 @@ let () =
           Alcotest.test_case "boolean queries" `Quick test_eval_boolean;
           Alcotest.test_case "missing predicate" `Quick test_eval_missing_predicate;
           Alcotest.test_case "cross product" `Quick test_eval_cross_product;
+          Alcotest.test_case "isolated atoms last" `Quick test_eval_planner_sinks_isolated_atoms;
           Alcotest.test_case "constant answer" `Quick test_eval_constant_answer;
           Alcotest.test_case "ucq union dedup" `Quick test_eval_ucq_union_dedup;
           Alcotest.test_case "forced bindings" `Quick test_eval_forced;

@@ -1,0 +1,286 @@
+(* The parallel evaluation engine: Pool unit tests, Relation partitioning
+   unit tests, and the qcheck equivalence property — morsel-parallel
+   evaluation must agree with sequential evaluation (answers and truncation
+   flag) across worker counts (1, 2, 4 and the TGDLIB_DOMAINS-derived
+   default) and random partition counts. *)
+
+open Tgd_logic
+open Tgd_db
+
+let v = Term.var
+let c = Term.const
+let vc s = Value.const s
+let atom p args = Atom.of_strings p args
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_submit_drain () =
+  let pool = Tgd_exec.Pool.create ~workers:2 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 100 do
+    match Tgd_exec.Pool.submit pool (fun () -> Atomic.incr hits) with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "unbounded pool rejected a job"
+  done;
+  Tgd_exec.Pool.drain pool;
+  Alcotest.(check int) "every job ran exactly once" 100 (Atomic.get hits);
+  Tgd_exec.Pool.shutdown pool;
+  (match Tgd_exec.Pool.submit pool (fun () -> ()) with
+  | Error `Closed -> ()
+  | Ok _ | Error (`Overloaded _) -> Alcotest.fail "closed pool accepted a job");
+  (* Idempotent. *)
+  Tgd_exec.Pool.shutdown pool
+
+let test_pool_overload () =
+  let pool = Tgd_exec.Pool.create ~workers:1 ~queue_bound:2 () in
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  (match
+     Tgd_exec.Pool.submit pool (fun () ->
+         Atomic.set started true;
+         while not (Atomic.get release) do
+           Domain.cpu_relax ()
+         done)
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "blocking job rejected");
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  (* The single worker is blocked: two jobs fill the queue, the third is
+     shed. *)
+  (match Tgd_exec.Pool.submit pool (fun () -> ()) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "queued job 1 rejected");
+  (match Tgd_exec.Pool.submit pool (fun () -> ()) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "queued job 2 rejected");
+  (match Tgd_exec.Pool.submit pool (fun () -> ()) with
+  | Error (`Overloaded d) -> Alcotest.(check int) "depth at shed time" 2 d
+  | Ok _ | Error `Closed -> Alcotest.fail "expected overload shed");
+  Atomic.set release true;
+  Tgd_exec.Pool.drain pool;
+  Tgd_exec.Pool.shutdown pool
+
+let test_pool_run_morsels () =
+  let pool = Tgd_exec.Pool.create ~workers:3 () in
+  let n = 100 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Tgd_exec.Pool.run_morsels pool ~n (fun i -> Atomic.incr hits.(i));
+  Array.iteri
+    (fun i h -> Alcotest.(check int) (Printf.sprintf "morsel %d ran once" i) 1 (Atomic.get h))
+    hits;
+  (* A raising morsel is re-raised in the caller after the batch settles. *)
+  (match Tgd_exec.Pool.run_morsels pool ~n:20 (fun i -> if i = 7 then failwith "boom") with
+  | () -> Alcotest.fail "expected the morsel exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "first failure wins" "boom" msg);
+  Tgd_exec.Pool.shutdown pool;
+  (* A closed pool degrades to caller-only execution but still completes. *)
+  let count = Atomic.make 0 in
+  Tgd_exec.Pool.run_morsels pool ~n:10 (fun _ -> Atomic.incr count);
+  Alcotest.(check int) "batch completes on a closed pool" 10 (Atomic.get count)
+
+(* ------------------------------------------------------------------ *)
+(* Relation partitioning *)
+
+let test_partition_covers_rows () =
+  let r = Relation.create ~arity:2 in
+  for i = 0 to 99 do
+    ignore (Relation.insert r [| vc (string_of_int i); vc (string_of_int (i mod 7)) |])
+  done;
+  Alcotest.(check bool) "no partition before seal" true (Relation.partition r = None);
+  Relation.seal ~partitions:4 r;
+  match Relation.partition r with
+  | None -> Alcotest.fail "seal ~partitions built no partition"
+  | Some (pos, shards) ->
+    Alcotest.(check int) "partition on the most-distinct column" 0 pos;
+    Alcotest.(check int) "requested shard count" 4 (Array.length shards);
+    let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 shards in
+    Alcotest.(check int) "shards cover every row exactly once" (Relation.cardinality r) total;
+    Array.iter (Array.iter (fun t -> Alcotest.(check bool) "shard row is a row" true (Relation.mem r t))) shards
+
+let test_partition_invalidated_by_insert () =
+  let r = Relation.create ~arity:1 in
+  for i = 0 to 9 do
+    ignore (Relation.insert r [| vc (string_of_int i) |])
+  done;
+  Relation.seal ~partitions:2 r;
+  Alcotest.(check bool) "partitioned after seal" true (Relation.partition r <> None);
+  ignore (Relation.insert r [| vc "fresh" |]);
+  Alcotest.(check bool) "insert discards the stale partition" true (Relation.partition r = None);
+  (* Re-sealing rebuilds it over the grown relation. *)
+  Relation.seal ~partitions:2 r;
+  match Relation.partition r with
+  | None -> Alcotest.fail "re-seal built no partition"
+  | Some (_, shards) ->
+    Alcotest.(check int) "rebuilt shards cover the new row too" 11
+      (Array.fold_left (fun acc s -> acc + Array.length s) 0 shards)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic end-to-end equivalence on a non-trivial join *)
+
+let graph_instance n =
+  let inst = Instance.create () in
+  for i = 0 to n - 1 do
+    ignore
+      (Instance.add_fact inst (Symbol.intern "r")
+         [| vc (Printf.sprintf "n%d" i); vc (Printf.sprintf "n%d" (i * 7 mod n)) |]);
+    if i mod 3 = 0 then
+      ignore (Instance.add_fact inst (Symbol.intern "s") [| vc (Printf.sprintf "n%d" i) |])
+  done;
+  inst
+
+let join_query =
+  Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "r" [ v "X"; v "Y" ]; atom "s" [ v "Y" ] ]
+
+let test_par_eval_join_equivalence () =
+  let inst = graph_instance 2_000 in
+  let reference = Eval.ucq inst [ join_query ] in
+  Alcotest.(check bool) "the join has answers" true (reference <> []);
+  List.iter
+    (fun (workers, partitions) ->
+      Instance.seal ~partitions inst;
+      let par = Par_eval.ucq ~workers ~min_tuples:1 inst [ join_query ] in
+      Alcotest.(check bool)
+        (Printf.sprintf "workers=%d partitions=%d equals sequential" workers partitions)
+        true
+        (List.length par = List.length reference && List.for_all2 Tuple.equal par reference))
+    [ (1, 1); (2, 2); (2, 8); (4, 4); (4, 16); (Tgd_exec.Pool.default_workers (), 5) ]
+
+let test_par_eval_shared_pool () =
+  let inst = graph_instance 1_000 in
+  Instance.seal ~partitions:8 inst;
+  let reference = Eval.ucq inst [ join_query ] in
+  let pool = Tgd_exec.Pool.create ~workers:4 () in
+  Fun.protect ~finally:(fun () -> Tgd_exec.Pool.shutdown pool) @@ fun () ->
+  for _ = 1 to 5 do
+    let par = Par_eval.ucq ~pool ~min_tuples:1 inst [ join_query ] in
+    Alcotest.(check bool) "pool-dispatched run equals sequential" true
+      (List.length par = List.length reference && List.for_all2 Tuple.equal par reference)
+  done
+
+(* Truncation semantics: a one-step eval budget trips both engines; an
+   unlimited governor trips neither and the answers agree. *)
+let test_par_eval_truncation_flag () =
+  let inst = graph_instance 1_000 in
+  Instance.seal ~partitions:4 inst;
+  let tiny = { Tgd_exec.Budget.unlimited with Tgd_exec.Budget.eval_steps = Some 1 } in
+  let gov_seq = Tgd_exec.Governor.create ~budget:tiny () in
+  ignore (Eval.ucq ~gov:gov_seq inst [ join_query ]);
+  let gov_par = Tgd_exec.Governor.create ~budget:tiny () in
+  ignore (Par_eval.ucq ~gov:gov_par ~workers:4 ~min_tuples:1 inst [ join_query ]);
+  Alcotest.(check bool) "sequential trips the 1-step budget" true
+    (Tgd_exec.Governor.stopped gov_seq <> None);
+  Alcotest.(check bool) "parallel trips the 1-step budget" true
+    (Tgd_exec.Governor.stopped gov_par <> None);
+  let gov_free = Tgd_exec.Governor.create () in
+  let par = Par_eval.ucq ~gov:gov_free ~workers:4 ~min_tuples:1 inst [ join_query ] in
+  Alcotest.(check bool) "ungoverned parallel run completes" true
+    (Tgd_exec.Governor.stopped gov_free = None);
+  let reference = Eval.ucq inst [ join_query ] in
+  Alcotest.(check bool) "ungoverned answers equal sequential" true
+    (List.length par = List.length reference && List.for_all2 Tuple.equal par reference)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: parallel == sequential over random instances, queries,
+   worker counts and partition counts *)
+
+let signature = [ ("p", 2); ("q1", 1); ("r", 3) ]
+
+let gen_pred = QCheck.Gen.oneofl signature
+let gen_var = QCheck.Gen.map (fun i -> v (Printf.sprintf "X%d" i)) (QCheck.Gen.int_bound 4)
+let gen_const = QCheck.Gen.map (fun i -> c (Printf.sprintf "c%d" i)) (QCheck.Gen.int_bound 9)
+let gen_term = QCheck.Gen.frequency [ (3, gen_var); (1, gen_const) ]
+
+let gen_atom =
+  QCheck.Gen.(
+    gen_pred >>= fun (name, arity) ->
+    list_repeat arity gen_term >>= fun args -> return (atom name args))
+
+let gen_ground_atom =
+  QCheck.Gen.(
+    gen_pred >>= fun (name, arity) ->
+    list_repeat arity gen_const >>= fun args -> return (atom name args))
+
+let gen_cq =
+  QCheck.Gen.(
+    int_range 1 3 >>= fun n ->
+    list_repeat n gen_atom >>= fun body ->
+    let vars =
+      Symbol.Set.elements
+        (List.fold_left (fun acc a -> Symbol.Set.union acc (Atom.vars a)) Symbol.Set.empty body)
+    in
+    (if vars = [] then return []
+     else
+       int_bound (min 2 (List.length vars - 1)) >>= fun k ->
+       return (List.filteri (fun i _ -> i <= k) vars))
+    >>= fun answer ->
+    return (Cq.make ~name:"q" ~answer:(List.map (fun x -> Term.Var x) answer) ~body))
+
+let gen_case =
+  QCheck.Gen.(
+    int_range 40 400 >>= fun nfacts ->
+    list_repeat nfacts gen_ground_atom >>= fun facts ->
+    int_range 1 2 >>= fun ndisj ->
+    list_repeat ndisj gen_cq >>= fun ucq ->
+    int_range 1 8 >>= fun partitions -> return (facts, ucq, partitions))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (facts, ucq, partitions) ->
+      Printf.sprintf "%d facts, %d partitions, ucq %s" (List.length facts) partitions
+        (String.concat " | " (List.map Cq.to_string ucq)))
+    gen_case
+
+let prop_par_eval_equals_seq =
+  QCheck.Test.make ~name:"parallel evaluation equals sequential (answers)" ~count:60 arb_case
+    (fun (facts, ucq, partitions) ->
+      let inst = Instance.of_atoms facts in
+      let reference = Eval.ucq inst ucq in
+      Instance.seal ~partitions inst;
+      List.for_all
+        (fun workers ->
+          let par = Par_eval.ucq ~workers ~min_tuples:1 inst ucq in
+          List.length par = List.length reference && List.for_all2 Tuple.equal par reference)
+        [ 1; 2; 4; Tgd_exec.Pool.default_workers () ])
+
+let prop_par_eval_truncates_like_seq =
+  QCheck.Test.make ~name:"parallel evaluation truncates like sequential (1-step budget)"
+    ~count:30 arb_case (fun (facts, ucq, partitions) ->
+      let inst = Instance.of_atoms facts in
+      Instance.seal ~partitions inst;
+      let tiny = { Tgd_exec.Budget.unlimited with Tgd_exec.Budget.eval_steps = Some 1 } in
+      let gov_seq = Tgd_exec.Governor.create ~budget:tiny () in
+      ignore (Eval.ucq ~gov:gov_seq inst ucq);
+      let gov_par = Tgd_exec.Governor.create ~budget:tiny () in
+      ignore (Par_eval.ucq ~gov:gov_par ~workers:4 ~min_tuples:1 inst ucq);
+      (Tgd_exec.Governor.stopped gov_seq <> None) = (Tgd_exec.Governor.stopped gov_par <> None))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "par_eval"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submit / drain / shutdown" `Quick test_pool_submit_drain;
+          Alcotest.test_case "overload shedding" `Quick test_pool_overload;
+          Alcotest.test_case "run_morsels" `Quick test_pool_run_morsels;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "shards cover the rows" `Quick test_partition_covers_rows;
+          Alcotest.test_case "insert invalidates" `Quick test_partition_invalidated_by_insert;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "join across worker/partition grid" `Quick
+            test_par_eval_join_equivalence;
+          Alcotest.test_case "shared pool reuse" `Quick test_par_eval_shared_pool;
+          Alcotest.test_case "truncation flag" `Quick test_par_eval_truncation_flag;
+        ] );
+      ( "properties",
+        List.map to_alcotest [ prop_par_eval_equals_seq; prop_par_eval_truncates_like_seq ] );
+    ]
