@@ -913,8 +913,19 @@ let e16 () =
 (* ------------------------------------------------------------------ *)
 (* E18: morsel-driven parallel evaluation — per-core scaling.           *)
 
+type e18_run = {
+  engine : string; (* "boxed" | "columnar" *)
+  workers : int;
+  wall : float; (* seconds *)
+  speedup : float; (* vs the boxed 1-worker baseline of the same size *)
+  scaling : float; (* vs the same engine's own 1-worker leg *)
+  identical : bool;
+  gc_minor : float; (* minor words allocated per run *)
+  gc_major : float; (* major words allocated per run *)
+}
+
 let e18 () =
-  section "E18 (parallel eval): morsel-driven scaling across workers and instance size";
+  section "E18 (parallel eval): columnar vs boxed engines across workers and instance size";
   let v = Term.var in
   let q =
     Cq.make ~name:"q" ~answer:[ v "X" ]
@@ -943,79 +954,163 @@ let e18 () =
     inst
   in
   let workers_list = [ 1; 2; 4 ] in
-  let host_domains = Parallel.domain_count () in
-  row "  host domains: %d (speedup expects >= 4 cores; identity is checked everywhere)\n"
+  (* The honest hardware number: what the runtime would actually give a
+     pool, not what TGDLIB_DOMAINS requests. Legs above it measure
+     oversubscription, and the scaling gates only score when it is >= 4. *)
+  let host_domains = Domain.recommended_domain_count () in
+  row "  host domains: %d (scaling gates score only when >= 4; identity is checked everywhere)\n"
     host_domains;
-  row "  %-10s %9s %9s %12s %9s %10s\n" "facts" "answers" "workers" "t_eval" "speedup" "identical";
+  row "  %-10s %9s %9s %8s %11s %9s %9s %10s %11s\n" "facts" "answers" "engine" "workers"
+    "t_eval" "speedup" "scaling" "identical" "minor_mw";
   let results =
     List.map
       (fun n ->
         let inst = build n in
         let reference = Tgd_db.Eval.ucq inst [ q ] in
         let k = if n >= 1_000_000 then 1 else 3 in
-        let runs =
-          List.map
+        let timed_leg ~engine ~columnar w =
+          Tgd_db.Instance.seal ~partitions:(w * 4) inst;
+          let answers = ref [] in
+          let minor0 = Gc.minor_words () in
+          let major0 = (Gc.quick_stat ()).Gc.major_words in
+          let wall =
+            time_median ~k (fun () ->
+                answers := Tgd_db.Par_eval.ucq ~workers:w ~columnar inst [ q ])
+          in
+          let gc_minor = (Gc.minor_words () -. minor0) /. float_of_int k in
+          let gc_major = ((Gc.quick_stat ()).Gc.major_words -. major0) /. float_of_int k in
+          let identical =
+            List.length !answers = List.length reference
+            && List.for_all2 Tgd_db.Tuple.equal !answers reference
+          in
+          { engine; workers = w; wall; speedup = 0.; scaling = 0.; identical; gc_minor; gc_major }
+        in
+        let legs =
+          List.concat_map
             (fun w ->
-              Tgd_db.Instance.seal ~partitions:(w * 4) inst;
-              let answers = ref [] in
-              let t =
-                time_median ~k (fun () -> answers := Tgd_db.Par_eval.ucq ~workers:w inst [ q ])
-              in
-              let identical =
-                List.length !answers = List.length reference
-                && List.for_all2 Tgd_db.Tuple.equal !answers reference
-              in
-              (w, t, identical))
+              [ timed_leg ~engine:"boxed" ~columnar:false w;
+                timed_leg ~engine:"columnar" ~columnar:true w ])
             workers_list
         in
-        let t1 = match runs with (_, t, _) :: _ -> t | [] -> 0.0 in
+        let wall_of engine w =
+          match List.find_opt (fun r -> r.engine = engine && r.workers = w) legs with
+          | Some r -> r.wall
+          | None -> nan
+        in
+        let baseline = wall_of "boxed" 1 in
+        let legs =
+          List.map
+            (fun r ->
+              { r with speedup = baseline /. r.wall; scaling = wall_of r.engine 1 /. r.wall })
+            legs
+        in
         List.iter
-          (fun (w, t, identical) ->
-            row "  %-10d %9d %9d %10.2fms %8.2fx %10s\n" n (List.length reference) w (t *. 1000.)
-              (t1 /. t)
-              (if identical then "yes" else "NO"))
-          runs;
-        (n, List.length reference, runs))
+          (fun r ->
+            row "  %-10d %9d %9s %8d %9.2fms %8.2fx %8.2fx %10s %11.1f\n" n
+              (List.length reference) r.engine r.workers (r.wall *. 1000.) r.speedup r.scaling
+              (if r.identical then "yes" else "NO")
+              (r.gc_minor /. 1e6))
+          legs;
+        (n, List.length reference, legs))
       [ 1_000; 10_000; 100_000; 1_000_000 ]
   in
   let all_identical =
-    List.for_all (fun (_, _, runs) -> List.for_all (fun (_, _, id) -> id) runs) results
+    List.for_all (fun (_, _, legs) -> List.for_all (fun r -> r.identical) legs) results
   in
-  check "parallel answers byte-identical to sequential at every size/worker count"
-    ~expected:"yes" ~got:(if all_identical then "yes" else "no");
-  (* Informational on this host; the CI artifact records whether the 4-vCPU
-     runner reaches the >= 2x mark at 10^5+. *)
-  (match
-     List.find_opt (fun (n, _, _) -> n >= 100_000) results
-     |> Option.map (fun (_, _, runs) ->
-            let t1 = List.assoc 1 (List.map (fun (w, t, _) -> (w, t)) runs) in
-            let t4 = List.assoc 4 (List.map (fun (w, t, _) -> (w, t)) runs) in
-            t1 /. t4)
-   with
-  | Some s when host_domains >= 4 ->
-    check ">= 2x speedup at 4 workers on the 10^5-fact instance" ~expected:"yes"
-      ~got:(if s >= 2.0 then "yes" else "no")
-  | Some s -> row "  (4-worker speedup at 10^5 facts: %.2fx — host has < 4 domains, not scored)\n" s
+  check "answers byte-identical to sequential at every size/engine/worker count" ~expected:"yes"
+    ~got:(if all_identical then "yes" else "no");
+  let find_leg n engine w =
+    match List.find_opt (fun (n', _, _) -> n' = n) results with
+    | None -> None
+    | Some (_, _, legs) -> List.find_opt (fun r -> r.engine = engine && r.workers = w) legs
+  in
+  (* The columnar engine must not regress the sequential path: its 1-worker
+     leg vs the boxed 1-worker leg, scored at every size (<= 10% slack). *)
+  let seq_ok =
+    List.for_all
+      (fun (n, _, _) ->
+        match (find_leg n "boxed" 1, find_leg n "columnar" 1) with
+        | Some b, Some c -> c.wall <= b.wall *. 1.10
+        | _ -> false)
+      results
+  in
+  check "columnar 1-worker leg regresses the boxed baseline <= 10%" ~expected:"yes"
+    ~got:(if seq_ok then "yes" else "no");
+  (* Headline: >= 3x at 4 workers on the 10^6-fact leg, measured against
+     the boxed sequential baseline (the engine this PR replaces). *)
+  (match find_leg 1_000_000 "columnar" 4 with
+  | Some r ->
+    check ">= 3x speedup at 4 workers on the 10^6-fact leg (vs boxed 1-worker)" ~expected:"yes"
+      ~got:(if r.speedup >= 3.0 then "yes" else "no")
   | None -> ());
+  (* Real parallel scaling needs real cores: scored on >= 4-domain hosts
+     (CI's 4-vCPU leg), reported informationally elsewhere. *)
+  (match find_leg 1_000_000 "columnar" 4 with
+  | Some r when host_domains >= 4 ->
+    check ">= 2x scaling at 4 workers on the 10^6-fact leg" ~expected:"yes"
+      ~got:(if r.scaling >= 2.0 then "yes" else "no")
+  | Some r ->
+    row "  (4-worker columnar scaling at 10^6 facts: %.2fx — host has %d domain(s), not scored)\n"
+      r.scaling host_domains
+  | None -> ());
+  (* min_tuples sweep: the sequential-fallback threshold. Below it a
+     disjunct skips task splitting entirely; the sweep shows where
+     splitting starts to pay on this host. *)
+  let sweep_n = 100_000 in
+  let sweep_inst = build sweep_n in
+  let sweep_reference = Tgd_db.Eval.ucq sweep_inst [ q ] in
+  Tgd_db.Instance.seal ~partitions:16 sweep_inst;
+  let sweep_legs =
+    List.map
+      (fun mt ->
+        let answers = ref [] in
+        let wall =
+          time_median ~k:3 (fun () ->
+              answers := Tgd_db.Par_eval.ucq ~workers:4 ~min_tuples:mt sweep_inst [ q ])
+        in
+        let identical =
+          List.length !answers = List.length sweep_reference
+          && List.for_all2 Tgd_db.Tuple.equal !answers sweep_reference
+        in
+        row "  min_tuples sweep: %-9d %9.2fms %10s\n" mt (wall *. 1000.)
+          (if identical then "yes" else "NO");
+        (mt, wall, identical))
+      [ 1; 512; 4_096; 65_536; 1_000_000 ]
+  in
+  check "min_tuples sweep preserves identity at every threshold" ~expected:"yes"
+    ~got:(if List.for_all (fun (_, _, id) -> id) sweep_legs then "yes" else "no");
   let oc = open_out "BENCH_parallel_eval.json" in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"bench_parallel_eval/v1\",\n";
+  out "{\n  \"schema\": \"bench_parallel_eval/v2\",\n";
   out "  \"host_domains\": %d,\n" host_domains;
   out "  \"query\": \"q(X) :- r(X,Y), s(Y)\",\n";
+  out "  \"baseline\": \"boxed engine, 1 worker (pre-columnar default path)\",\n";
   out "  \"sizes\": [\n";
   List.iteri
-    (fun i (n, answers, runs) ->
-      let t1 = match runs with (_, t, _) :: _ -> t | [] -> 0.0 in
-      out "    {\"facts\": %d, \"answers\": %d, \"runs\": [" n answers;
+    (fun i (n, answers, legs) ->
+      out "    {\"facts\": %d, \"answers\": %d, \"runs\": [\n" n answers;
       List.iteri
-        (fun j (w, t, identical) ->
-          out "%s{\"workers\": %d, \"wall_ms\": %.3f, \"speedup\": %.2f, \"identical\": %b}"
-            (if j = 0 then "" else ", ")
-            w (t *. 1000.) (t1 /. t) identical)
-        runs;
-      out "]}%s\n" (if i = List.length results - 1 then "" else ","))
+        (fun j r ->
+          out
+            "      {\"engine\": %S, \"workers\": %d, \"wall_ms\": %.3f, \"speedup\": %.2f, \
+             \"scaling\": %.2f, \"identical\": %b, \"gc_minor_words\": %.0f, \
+             \"gc_major_words\": %.0f}%s\n"
+            r.engine r.workers (r.wall *. 1000.) r.speedup r.scaling r.identical r.gc_minor
+            r.gc_major
+            (if j = List.length legs - 1 then "" else ","))
+        legs;
+      out "    ]}%s\n" (if i = List.length results - 1 then "" else ","))
     results;
-  out "  ]\n}\n";
+  out "  ],\n";
+  out "  \"min_tuples_sweep\": {\"facts\": %d, \"workers\": 4, \"engine\": \"columnar\", \
+       \"legs\": [" sweep_n;
+  List.iteri
+    (fun j (mt, wall, identical) ->
+      out "%s{\"min_tuples\": %d, \"wall_ms\": %.3f, \"identical\": %b}"
+        (if j = 0 then "" else ", ")
+        mt (wall *. 1000.) identical)
+    sweep_legs;
+  out "]}\n}\n";
   close_out oc;
   row "  wrote BENCH_parallel_eval.json\n"
 

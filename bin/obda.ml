@@ -258,17 +258,36 @@ let resolve_eval_workers = function
     exit 2
   | None -> Tgd_exec.Pool.default_workers ()
 
+let eval_partitions_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "eval-partitions" ] ~docv:"P"
+        ~doc:
+          "Answer partitions of the lock-free parallel merge (default: 4 per eval worker). More \
+           partitions smooth skewed answer distributions at the cost of smaller per-partition \
+           sorts. Ignored when --eval-workers=1.")
+
+let resolve_eval_partitions = function
+  | Some n when n >= 1 -> Some n
+  | Some n ->
+    Format.eprintf "bad --eval-partitions: %d (must be >= 1)@." n;
+    exit 2
+  | None -> None
+
 let answer_cmd =
-  let run path method_ data_files eval_workers budget deadline stats_json =
+  let run path method_ data_files eval_workers eval_partitions budget deadline stats_json =
     let p, doc = load_program path in
     let inst = load_instance doc data_files in
     let eval_workers = resolve_eval_workers eval_workers in
+    let eval_partitions = resolve_eval_partitions eval_partitions in
     let pool =
       if eval_workers > 1 then Some (Tgd_exec.Pool.create ~workers:eval_workers ()) else None
     in
-    (* The instance is fully loaded: seal (and partition, when parallel) so
-       evaluation reads are race-free and scans split into shard morsels. *)
-    if eval_workers > 1 then Tgd_db.Instance.seal ~partitions:(eval_workers * 4) inst;
+    (* The instance is fully loaded: seal it so the compiled columnar
+       engine can scan it at any worker count (plus hash shards for the
+       boxed fallback's morsels, when parallel). *)
+    if eval_workers > 1 then Tgd_db.Instance.seal ~partitions:(eval_workers * 4) inst
+    else Tgd_db.Instance.seal inst;
     Fun.protect ~finally:(fun () -> Option.iter Tgd_exec.Pool.shutdown pool) @@ fun () ->
     (* A supplied governor bypasses the chase's own round/fact defaults, so
        merge them into the budget when the spec leaves them unset. *)
@@ -288,9 +307,8 @@ let answer_cmd =
       let gov = fresh_governor b in
       let r = Tgd_rewrite.Rewrite.ucq ~gov p q in
       let answers =
-        (if eval_workers > 1 then
-           Tgd_db.Par_eval.ucq ~gov ?pool ~workers:eval_workers inst r.Tgd_rewrite.Rewrite.ucq
-         else Tgd_db.Eval.ucq ~gov inst r.Tgd_rewrite.Rewrite.ucq)
+        Tgd_db.Par_eval.ucq ~gov ?pool ~workers:eval_workers ?partitions:eval_partitions inst
+          r.Tgd_rewrite.Rewrite.ucq
         |> List.filter (fun t -> not (Tgd_db.Tuple.has_null t))
       in
       record ("answer.rewriting:" ^ q.Cq.name) gov;
@@ -302,7 +320,7 @@ let answer_cmd =
     in
     let answer_by_chase q =
       let gov = fresh_governor b in
-      let r = Tgd_chase.Certain.cq ~gov ?pool ~eval_workers p inst q in
+      let r = Tgd_chase.Certain.cq ~gov ?pool ~eval_workers ?eval_partitions p inst q in
       record ("answer.chase:" ^ q.Cq.name) gov;
       (r.Tgd_chase.Certain.answers, r.Tgd_chase.Certain.exact)
     in
@@ -340,8 +358,8 @@ let answer_cmd =
     (Cmd.info "answer"
        ~doc:"Compute certain answers to the queries in the file over its facts.")
     Term.(
-      const run $ path $ method_ $ data_arg $ eval_workers_arg $ budget_arg $ deadline_arg
-      $ stats_json_arg)
+      const run $ path $ method_ $ data_arg $ eval_workers_arg $ eval_partitions_arg $ budget_arg
+      $ deadline_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chase                                                               *)
@@ -464,13 +482,16 @@ let approx_cmd =
 (* serve                                                               *)
 
 let serve_cmd =
-  let run workers queue_bound cache_capacity eval_workers budget deadline socket =
+  let run workers queue_bound cache_capacity eval_workers eval_partitions budget deadline socket =
     let base_budget =
       match (budget, deadline) with
       | None, None -> None (* keep the server's own default *)
       | _ -> Some (budget_of_flags budget deadline)
     in
-    let server = Tgd_serve.Server.create ~cache_capacity ?base_budget ~eval_workers () in
+    let eval_partitions = resolve_eval_partitions eval_partitions in
+    let server =
+      Tgd_serve.Server.create ~cache_capacity ?base_budget ~eval_workers ?eval_partitions ()
+    in
     Fun.protect ~finally:(fun () -> Tgd_serve.Server.shutdown server) @@ fun () ->
     match socket with
     | Some path ->
@@ -522,8 +543,8 @@ let serve_cmd =
           conjunctive queries over a prepared-rewriting cache, speaking a JSONL protocol \
           (register-ontology, load-csv, prepare, execute, stats, ping, shutdown).")
     Term.(
-      const run $ workers $ queue_bound $ cache_capacity $ eval_workers $ budget_arg
-      $ deadline_arg $ socket)
+      const run $ workers $ queue_bound $ cache_capacity $ eval_workers $ eval_partitions_arg
+      $ budget_arg $ deadline_arg $ socket)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)

@@ -6,7 +6,8 @@ type result = {
   chase : Chase.stats;
 }
 
-let ucq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers program inst disjuncts =
+let ucq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers ?eval_partitions program inst
+    disjuncts =
   let work = Instance.copy inst in
   let chase = Chase.run ?variant ?max_rounds ?max_facts ?gov program work in
   let answers =
@@ -16,14 +17,13 @@ let ucq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers program inst di
       | None, Some p -> Tgd_exec.Pool.size p
       | None, None -> 1
     in
-    (if workers <= 1 then Eval.ucq ?gov work disjuncts
-     else begin
-       (* The chase is over: the materialized instance is now read-only, so
-          seal it (partitioned on the worker count) for race-free parallel
-          evaluation. *)
-       Instance.seal ~partitions:(workers * 4) work;
-       Par_eval.ucq ?gov ?pool ~workers work disjuncts
-     end)
+    (* The chase is over: the materialized instance is now read-only, so
+       seal it — building the columnar blocks the compiled evaluator scans
+       (any worker count benefits), plus hash shards for the boxed engine
+       when parallel. *)
+    (if workers <= 1 then Instance.seal work
+     else Instance.seal ~partitions:(workers * 4) work);
+    Par_eval.ucq ?gov ?pool ~workers ?partitions:eval_partitions work disjuncts
     |> List.filter (fun t -> not (Tuple.has_null t))
   in
   let exact =
@@ -34,5 +34,5 @@ let ucq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers program inst di
   in
   { answers; exact; chase }
 
-let cq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers program inst q =
-  ucq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers program inst [ q ]
+let cq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers ?eval_partitions program inst q =
+  ucq ?variant ?max_rounds ?max_facts ?gov ?pool ?eval_workers ?eval_partitions program inst [ q ]

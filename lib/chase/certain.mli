@@ -23,6 +23,7 @@ val ucq :
   ?gov:Tgd_exec.Governor.t ->
   ?pool:Tgd_exec.Pool.t ->
   ?eval_workers:int ->
+  ?eval_partitions:int ->
   Program.t ->
   Instance.t ->
   Cq.ucq ->
@@ -33,11 +34,12 @@ val ucq :
     materialization and query evaluation — so one deadline covers the whole
     certain-answer computation.
 
-    Evaluation over the materialized instance runs sequentially by default;
-    with [eval_workers > 1] (or a [pool]) the instance is sealed after the
-    chase and the query runs through {!Tgd_db.Par_eval} on that many
-    workers. [eval_workers] defaults to the [pool]'s size when only a pool
-    is given. *)
+    The materialized instance is sealed after the chase, so evaluation runs
+    on {!Tgd_db.Par_eval}'s compiled columnar engine at any worker count;
+    [eval_workers > 1] (or a [pool]) additionally splits the leading scans
+    into that many workers' morsels, and [eval_partitions] overrides the
+    answer-partition count of the lock-free merge. [eval_workers] defaults
+    to the [pool]'s size when only a pool is given. *)
 
 val cq :
   ?variant:Chase.variant ->
@@ -46,6 +48,7 @@ val cq :
   ?gov:Tgd_exec.Governor.t ->
   ?pool:Tgd_exec.Pool.t ->
   ?eval_workers:int ->
+  ?eval_partitions:int ->
   Program.t ->
   Instance.t ->
   Cq.t ->

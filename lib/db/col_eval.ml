@@ -1,0 +1,456 @@
+(* Compiled conjunctive-query evaluation over columnar blocks.
+
+   A CQ body is compiled once into an array of join steps against the
+   sealed relations' columnar blocks: variables become numbered slots in a
+   single mutable [int array] binding frame, constants become pre-computed
+   value codes, and each step is a probe (CSR index range) or scan followed
+   by a flat array of per-column checks. The interpreter therefore
+   allocates nothing per candidate tuple — no [Symbol.Map] environments, no
+   boxed tuples — and every scan walks contiguous [int array]s, which is
+   what lets morsel workers run at memory bandwidth instead of fighting the
+   multicore minor heap (see E18 / BENCH_parallel_eval.json).
+
+   The planner mirrors {!Eval.bindings}'s greedy order (most bound
+   positions first, joined-ahead atoms before isolated cross products,
+   then the smaller relation), but resolves it statically: which variables
+   are bound at step [k] depends only on the atoms chosen before [k], never
+   on candidate values, so the "adaptive" order is in fact a compile-time
+   constant. *)
+
+open Tgd_logic
+
+(* A check against one column of the step's block. The column array is
+   captured directly so the inner loop does one load, not two. *)
+type check =
+  | Check_const of int array * int (* column codes, required code *)
+  | Check_slot of int array * int (* column codes, frame slot *)
+  | Bind of int array * int (* column codes, frame slot to set *)
+
+type probe =
+  | Scan
+  | Probe_const of int (* column index, constant code *) * int
+  | Probe_slot of int * int (* column index, frame slot *)
+
+type step = {
+  block : Columnar.t;
+  probe : probe;
+  checks : check array;
+}
+
+type out_arg =
+  | Out_slot of int
+  | Out_code of int
+
+type t = {
+  steps : step array;
+  nslots : int;
+  out : out_arg array;
+}
+
+type compiled =
+  | Compiled of t
+  | Empty (* a body atom can never match: the disjunct has no answers *)
+  | Unsupported (* no columnar block / uncodable constant: use the boxed engine *)
+
+let out_arity t = Array.length t.out
+
+(* ------------------------------------------------------------------ *)
+(* Coded answer tuples                                                 *)
+
+(* The comparison/hash helpers below are on the per-answer hot path
+   (hashtable dedup, partition sort: millions of calls per query), so they
+   are written as top-level recursions with explicit arguments — an inner
+   [let rec loop] capturing the arrays would allocate a closure block per
+   call, which at sort time is several words *per comparison*. *)
+
+let rec compare_from (a : int array) (b : int array) n i =
+  if i >= n then 0
+  else
+    let c = Int.compare (Array.unsafe_get a i) (Array.unsafe_get b i) in
+    if c <> 0 then c else compare_from a b n (i + 1)
+
+let compare_codes (a : int array) (b : int array) =
+  (* Arity first, then lexicographic int order — exactly [Tuple.compare]'s
+     shape, and it coincides with it on the decoded tuples because
+     [Value.code] is order-preserving. (Disjuncts of one union normally
+     share an arity, but nothing here needs to assume it.) *)
+  let n = Array.length a in
+  let c = Int.compare n (Array.length b) in
+  if c <> 0 then c else compare_from a b n 0
+
+let rec hash_from (a : int array) n i h =
+  if i >= n then h land max_int
+  else hash_from a n (i + 1) ((h * 31) + Array.unsafe_get a i)
+
+let hash_codes (a : int array) = hash_from a (Array.length a) 0 17
+
+(* Flat fixed-stride rows. [Par_eval]'s partition buckets store coded
+   answers back to back in one [int array] (row [r] of a stride-[s] bucket
+   occupies offsets [r*s .. r*s + s - 1]): per answer that is [s] machine
+   words and zero pointers, so sorting and deduplicating a
+   million-answer partition is sequential memory traffic instead of a
+   pointer chase through a million tiny heap blocks. *)
+
+let rec row_cmp_from (a : int array) oa (b : int array) ob stride i =
+  if i >= stride then 0
+  else
+    let c =
+      Int.compare (Array.unsafe_get a (oa + i)) (Array.unsafe_get b (ob + i))
+    in
+    if c <> 0 then c else row_cmp_from a oa b ob stride (i + 1)
+
+let compare_rows a oa b ob ~stride = row_cmp_from a oa b ob stride 0
+
+let swap_rows (a : int array) stride i j =
+  let oi = i * stride and oj = j * stride in
+  for k = 0 to stride - 1 do
+    let t = Array.unsafe_get a (oi + k) in
+    Array.unsafe_set a (oi + k) (Array.unsafe_get a (oj + k));
+    Array.unsafe_set a (oj + k) t
+  done
+
+(* Direct-call quicksort (median-of-three to the front, Hoare partition,
+   swap-based insertion below 16 rows) over the rows of a flat bucket.
+   [Array.sort] would need one heap block per row plus a closure call per
+   comparison — at n log n comparisons per partition that indirection is
+   the sort. [piv] is a caller-provided stride-sized scratch row: the
+   pivot must be copied out because partition swaps move it. Bounds are
+   row indices, [hi] inclusive. *)
+let rec qsort_rows (a : int array) stride (piv : int array) lo hi =
+  if hi - lo < 16 then
+    for i = lo + 1 to hi do
+      let j = ref i in
+      while
+        !j > lo && row_cmp_from a (!j * stride) a ((!j - 1) * stride) stride 0 < 0
+      do
+        swap_rows a stride !j (!j - 1);
+        decr j
+      done
+    done
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    (* Sort rows lo/mid/hi among themselves, then move the median to [lo]
+       where the Hoare scan expects its pivot. *)
+    if row_cmp_from a (mid * stride) a (lo * stride) stride 0 < 0 then
+      swap_rows a stride mid lo;
+    if row_cmp_from a (hi * stride) a (mid * stride) stride 0 < 0 then begin
+      swap_rows a stride hi mid;
+      if row_cmp_from a (mid * stride) a (lo * stride) stride 0 < 0 then
+        swap_rows a stride mid lo
+    end;
+    swap_rows a stride lo mid;
+    Array.blit a (lo * stride) piv 0 stride;
+    let i = ref (lo - 1) and j = ref (hi + 1) in
+    let cut = ref (-1) in
+    while !cut < 0 do
+      incr i;
+      while row_cmp_from a (!i * stride) piv 0 stride 0 < 0 do
+        incr i
+      done;
+      decr j;
+      while row_cmp_from piv 0 a (!j * stride) stride 0 < 0 do
+        decr j
+      done;
+      if !i >= !j then cut := !j else swap_rows a stride !i !j
+    done;
+    qsort_rows a stride piv lo !cut;
+    qsort_rows a stride piv (!cut + 1) hi
+  end
+
+let sort_rows (a : int array) ~stride ~rows =
+  if stride > 0 && rows > 1 then qsort_rows a stride (Array.make stride 0) 0 (rows - 1)
+
+(* Compact duplicate (adjacent, post-sort) rows in place; returns the
+   unique count. Stride 0 (boolean answers) collapses to one row. *)
+let uniq_rows (a : int array) ~stride ~rows =
+  if rows = 0 then 0
+  else begin
+    let w = ref 1 in
+    for r = 1 to rows - 1 do
+      if row_cmp_from a (r * stride) a ((!w - 1) * stride) stride 0 <> 0 then begin
+        if r <> !w then Array.blit a (r * stride) a (!w * stride) stride;
+        incr w
+      end
+    done;
+    !w
+  end
+
+let decode_row (a : int array) ~stride ~row =
+  let off = row * stride in
+  Array.init stride (fun i -> Value.decode a.(off + i))
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+
+exception Not_compilable of compiled
+
+let const_code c =
+  match Value.code (Value.Const c) with
+  | Some code -> code
+  | None -> raise (Not_compilable Unsupported)
+
+let block_of inst (a : Atom.t) =
+  match Instance.relation inst a.Atom.pred with
+  | None -> raise (Not_compilable Empty)
+  | Some rel ->
+    if Relation.arity rel <> Atom.arity a then raise (Not_compilable Empty)
+    else (
+      match Relation.columnar rel with
+      | Some block -> block
+      | None -> raise (Not_compilable Unsupported))
+
+(* Static mirror of [Eval.bindings]'s per-step selection. *)
+let plan_order tagged =
+  let unbound_vars bound (a : Atom.t) =
+    Array.fold_left
+      (fun acc t ->
+        match t with
+        | Term.Var v when not (Symbol.Set.mem v bound) -> v :: acc
+        | Term.Var _ | Term.Const _ -> acc)
+      [] a.Atom.args
+  in
+  let count_bound bound (a : Atom.t) =
+    Array.fold_left
+      (fun acc t ->
+        match t with
+        | Term.Const _ -> acc + 1
+        | Term.Var v -> if Symbol.Set.mem v bound then acc + 1 else acc)
+      0 a.Atom.args
+  in
+  let rec loop bound acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let unbound = List.map (fun (i, a, _) -> (i, unbound_vars bound a)) remaining in
+      let joins_ahead i mine =
+        mine <> []
+        && List.exists
+             (fun (j, theirs) ->
+               j <> i
+               && List.exists
+                    (fun v -> List.exists (fun w -> Symbol.equal v w) theirs)
+                    mine)
+             unbound
+      in
+      let score (i, a, size) =
+        ( count_bound bound a,
+          (if joins_ahead i (List.assoc i unbound) then 1 else 0),
+          -size )
+      in
+      let best =
+        List.fold_left
+          (fun best x ->
+            match best with
+            | None -> Some x
+            | Some y -> if score x > score y then Some x else best)
+          None remaining
+      in
+      (match best with
+      | None -> assert false
+      | Some ((i, a, _) as chosen) ->
+        let bound = Symbol.Set.union bound (Atom.vars a) in
+        loop bound (chosen :: acc) (List.filter (fun (j, _, _) -> j <> i) remaining))
+  in
+  loop Symbol.Set.empty [] tagged
+
+let compile inst (q : Cq.t) =
+  try
+    let tagged =
+      List.mapi
+        (fun i a ->
+          let block = block_of inst a in
+          (i, a, Columnar.nrows block))
+        q.Cq.body
+    in
+    let ordered = plan_order tagged in
+    let slots : (Symbol.t, int) Hashtbl.t = Hashtbl.create 16 in
+    let nslots = ref 0 in
+    let slot_of v =
+      match Hashtbl.find_opt slots v with
+      | Some s -> Some s
+      | None -> None
+    in
+    let new_slot v =
+      let s = !nslots in
+      Hashtbl.add slots v s;
+      incr nslots;
+      s
+    in
+    let steps =
+      List.map
+        (fun (_, (a : Atom.t), _) ->
+          let block = block_of inst a in
+          let n = Atom.arity a in
+          (* The probe column: first position holding a constant or an
+             already-bound variable — the same choice as
+             [Eval.candidates]. *)
+          let rec find_probe j =
+            if j >= n then Scan
+            else
+              match a.Atom.args.(j) with
+              | Term.Const c -> Probe_const (j, const_code c)
+              | Term.Var v -> (
+                match slot_of v with
+                | Some s -> Probe_slot (j, s)
+                | None -> find_probe (j + 1))
+          in
+          let probe = find_probe 0 in
+          let probed_col = match probe with Scan -> -1 | Probe_const (j, _) | Probe_slot (j, _) -> j in
+          let checks = ref [] in
+          for j = 0 to n - 1 do
+            let col = Columnar.col block j in
+            match a.Atom.args.(j) with
+            | Term.Const c -> if j <> probed_col then checks := Check_const (col, const_code c) :: !checks
+            | Term.Var v -> (
+              match slot_of v with
+              | Some s -> if j <> probed_col then checks := Check_slot (col, s) :: !checks
+              | None ->
+                let s = new_slot v in
+                checks := Bind (col, s) :: !checks)
+          done;
+          { block; probe; checks = Array.of_list (List.rev !checks) })
+        ordered
+    in
+    let out =
+      List.map
+        (function
+          | Term.Const c -> Out_code (const_code c)
+          | Term.Var v -> (
+            match slot_of v with
+            | Some s -> Out_slot s
+            | None -> invalid_arg "Col_eval.compile: unbound answer variable"))
+        q.Cq.answer
+    in
+    Compiled { steps = Array.of_list steps; nslots = !nslots; out = Array.of_list out }
+  with Not_compilable c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+(* Candidate rows of a step under the current frame: [(rows, start, len)]
+   where the row ids are [rows.(start) ..] when [rows] is [Some _] and the
+   identity range [start ..] otherwise (full scan). *)
+let candidates (s : step) (frame : int array) =
+  match s.probe with
+  | Scan -> (None, 0, Columnar.nrows s.block)
+  | Probe_const (col, code) ->
+    let rows, start, len = Columnar.probe s.block ~col code in
+    (Some rows, start, len)
+  | Probe_slot (col, slot) ->
+    let rows, start, len = Columnar.probe s.block ~col frame.(slot) in
+    (Some rows, start, len)
+
+let lead_len t =
+  if Array.length t.steps = 0 then 0
+  else
+    let _, _, len = candidates t.steps.(0) [||] in
+    len
+
+exception Stopped
+
+(* Poll/charge stride: batching the shared governor's atomic counter is
+   what keeps many workers from serializing on it; 256 keeps the
+   cancellation latency well under a millisecond of work. *)
+let stride = 256
+
+let run ?gov t ~lo ~hi ~emit =
+  let frame = Array.make (max t.nslots 1) 0 in
+  let steps = t.steps in
+  let nsteps = Array.length steps in
+  let nodes = ref 0 in
+  let tick =
+    match gov with
+    | None -> fun () -> ()
+    | Some g ->
+      fun () ->
+        incr nodes;
+        if !nodes land (stride - 1) = 0 then begin
+          Tgd_exec.Governor.charge ~n:stride g Tgd_exec.Budget.key_eval_steps;
+          if not (Tgd_exec.Governor.live g) then raise Stopped
+        end
+  in
+  let flush () =
+    match gov with
+    | None -> ()
+    | Some g ->
+      let rem = !nodes land (stride - 1) in
+      if rem > 0 then Tgd_exec.Governor.charge ~n:rem g Tgd_exec.Budget.key_eval_steps
+  in
+  let nout = Array.length t.out in
+  (* One scratch answer, refilled per match: the emit callback must copy
+     what it keeps. Copying into a flat partition bucket is exactly what
+     [Par_eval] does, so the per-answer heap allocation disappears. *)
+  let out_buf = Array.make nout 0 in
+  let emit_current () =
+    for i = 0 to nout - 1 do
+      out_buf.(i) <-
+        (match Array.unsafe_get t.out i with Out_slot s -> frame.(s) | Out_code c -> c)
+    done;
+    emit out_buf
+  in
+  (* Top-level-style recursion with explicit arguments: an inner closure
+     capturing [cs]/[r] would be allocated per candidate row. *)
+  let rec checks_from (cs : check array) n r i =
+    i >= n
+    ||
+    match Array.unsafe_get cs i with
+    | Check_const (col, code) -> Array.unsafe_get col r = code && checks_from cs n r (i + 1)
+    | Check_slot (col, slot) ->
+      Array.unsafe_get col r = Array.unsafe_get frame slot && checks_from cs n r (i + 1)
+    | Bind (col, slot) ->
+      Array.unsafe_set frame slot (Array.unsafe_get col r);
+      checks_from cs n r (i + 1)
+  in
+  let matches (s : step) r =
+    let cs = s.checks in
+    checks_from cs (Array.length cs) r 0
+  in
+  let rec at depth =
+    if depth = nsteps then emit_current ()
+    else begin
+      let s = Array.unsafe_get steps depth in
+      let rows, start, len = candidates s frame in
+      let stop = start + len in
+      match rows with
+      | None ->
+        for r = start to stop - 1 do
+          if matches s r then begin
+            tick ();
+            at (depth + 1)
+          end
+        done
+      | Some rows ->
+        for k = start to stop - 1 do
+          let r = Array.unsafe_get rows k in
+          if matches s r then begin
+            tick ();
+            at (depth + 1)
+          end
+        done
+    end
+  in
+  (try
+     if nsteps = 0 then emit_current ()
+     else begin
+       let s = Array.unsafe_get steps 0 in
+       let rows, start, _ = candidates s frame in
+       let lo = start + lo and hi = start + hi in
+       match rows with
+       | None ->
+         for r = lo to hi - 1 do
+           if matches s r then begin
+             tick ();
+             at 1
+           end
+         done
+       | Some rows ->
+         for k = lo to hi - 1 do
+           let r = Array.unsafe_get rows k in
+           if matches s r then begin
+             tick ();
+             at 1
+           end
+         done
+     end
+   with Stopped -> ());
+  flush ()

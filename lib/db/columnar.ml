@@ -1,0 +1,88 @@
+(* Columnar sealed storage: one flat int column per attribute plus a CSR
+   index (code -> contiguous row-id range) per column. Built once when a
+   relation is sealed; morsel workers then scan contiguous [int array]s
+   instead of chasing boxed tuples through a hashtable, which is what makes
+   parallel evaluation memory-bandwidth-bound instead of
+   minor-heap/cache-miss-bound. *)
+
+type index = {
+  groups : (int, int) Hashtbl.t; (* value code -> group id *)
+  starts : int array; (* group id -> offset into [rows]; length ngroups+1 *)
+  rows : int array; (* row ids, grouped by the column's value code *)
+}
+
+type t = {
+  arity : int;
+  nrows : int;
+  cols : int array array; (* arity columns of nrows codes each *)
+  indexes : index array;
+}
+
+let arity t = t.arity
+let nrows t = t.nrows
+
+let build_index (col : int array) =
+  let n = Array.length col in
+  let groups = Hashtbl.create (max 16 (n / 4)) in
+  let counts = ref (Array.make 16 0) in
+  let ngroups = ref 0 in
+  for i = 0 to n - 1 do
+    let c = Array.unsafe_get col i in
+    match Hashtbl.find_opt groups c with
+    | Some g -> !counts.(g) <- !counts.(g) + 1
+    | None ->
+      let g = !ngroups in
+      if g = Array.length !counts then begin
+        let bigger = Array.make (2 * g) 0 in
+        Array.blit !counts 0 bigger 0 g;
+        counts := bigger
+      end;
+      !counts.(g) <- 1;
+      Hashtbl.add groups c g;
+      incr ngroups
+  done;
+  let starts = Array.make (!ngroups + 1) 0 in
+  for g = 0 to !ngroups - 1 do
+    starts.(g + 1) <- starts.(g) + !counts.(g)
+  done;
+  let fill = Array.init !ngroups (fun g -> starts.(g)) in
+  let rows = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let g = Hashtbl.find groups (Array.unsafe_get col i) in
+    rows.(fill.(g)) <- i;
+    fill.(g) <- fill.(g) + 1
+  done;
+  { groups; starts; rows }
+
+exception Uncodable
+
+let build ~arity (tuples : Tuple.t array) =
+  let nrows = Array.length tuples in
+  let cols = Array.init (max arity 1) (fun _ -> Array.make nrows 0) in
+  try
+    for i = 0 to nrows - 1 do
+      let t = tuples.(i) in
+      for j = 0 to arity - 1 do
+        match Value.code t.(j) with
+        | Some c -> cols.(j).(i) <- c
+        | None -> raise Uncodable
+      done
+    done;
+    let indexes = Array.init arity (fun j -> build_index cols.(j)) in
+    Some { arity; nrows; cols; indexes }
+  with Uncodable -> None
+
+let col t j = t.cols.(j)
+
+let probe t ~col code =
+  let idx = t.indexes.(col) in
+  match Hashtbl.find_opt idx.groups code with
+  | None -> (idx.rows, 0, 0)
+  | Some g -> (idx.rows, idx.starts.(g), idx.starts.(g + 1) - idx.starts.(g))
+
+let decode_row t i = Array.init t.arity (fun j -> Value.decode t.cols.(j).(i))
+
+let iter_rows f t =
+  for i = 0 to t.nrows - 1 do
+    f (decode_row t i)
+  done

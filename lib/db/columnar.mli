@@ -1,0 +1,35 @@
+(** Columnar sealed storage for a relation.
+
+    A block holds the relation's tuples as one flat [int array] per
+    attribute, each entry the order-preserving {!Value.code} of the value,
+    plus a CSR index per column mapping a code to a contiguous range of row
+    ids. Blocks are immutable: {!Relation.seal} builds one, any later
+    insert discards it. Morsel-driven evaluation ({!Par_eval}) scans row
+    ranges of these contiguous arrays instead of boxed tuple lists, and the
+    compiled join machinery ({!Col_eval}) probes the CSR indexes without
+    allocating. *)
+
+type t
+
+val build : arity:int -> Tuple.t array -> t option
+(** Encode a tuple snapshot. [None] when some value has no integer code
+    (see {!Value.code}) — callers keep serving the boxed representation. *)
+
+val arity : t -> int
+
+val nrows : t -> int
+(** Number of rows; row ids are [0 .. nrows - 1]. *)
+
+val col : t -> int -> int array
+(** The coded column for an attribute, of length [nrows]. Do not mutate. *)
+
+val probe : t -> col:int -> int -> int array * int * int
+(** [probe t ~col code] is [(rows, start, len)]: the row ids whose column
+    [col] holds [code] are [rows.(start) .. rows.(start + len - 1)].
+    [len = 0] when the code does not occur. Do not mutate [rows]. *)
+
+val decode_row : t -> int -> Tuple.t
+(** Rebuild the boxed tuple stored at a row id. *)
+
+val iter_rows : (Tuple.t -> unit) -> t -> unit
+(** Decode every row in row-id order (testing and round-trip checks). *)

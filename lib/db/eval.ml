@@ -31,27 +31,31 @@ let count_bound env a =
   let rec loop i acc = if i >= n then acc else loop (i + 1) (acc + if Option.is_some (bound_value env a i) then 1 else 0) in
   loop 0 0
 
-(* Does [a] share a variable, still unbound under [env], with another
-   remaining atom? An atom with no such variable is isolated: choosing it
-   early turns the join into a cross product that multiplies all later work
-   by its cardinality, so the planner sinks isolated atoms below joinable
-   ones. *)
-let joins_ahead env remaining i (a : Atom.t) =
-  let unbound_vars (b : Atom.t) =
-    Array.fold_left
-      (fun acc t ->
-        match t with
-        | Term.Var v when not (Symbol.Map.mem v env) -> v :: acc
-        | Term.Var _ | Term.Const _ -> acc)
-      [] b.Atom.args
-  in
-  let mine = unbound_vars a in
-  mine <> []
-  && List.exists
-       (fun (j, b, _) ->
-         j <> i
-         && List.exists (fun v -> List.exists (fun w -> Symbol.compare v w = 0) (unbound_vars b)) mine)
-       remaining
+let unbound_vars env (b : Atom.t) =
+  Array.fold_left
+    (fun acc t ->
+      match t with
+      | Term.Var v when not (Symbol.Map.mem v env) -> v :: acc
+      | Term.Var _ | Term.Const _ -> acc)
+    [] b.Atom.args
+
+(* Does atom [i] share a variable, still unbound under the current
+   environment, with another remaining atom? An atom with no such variable
+   is isolated: choosing it early turns the join into a cross product that
+   multiplies all later work by its cardinality, so the planner sinks
+   isolated atoms below joinable ones. [unbound] is the per-step memo of
+   every remaining atom's unbound variables — computed once per planning
+   step, not once per candidate pair, which kept the old selection
+   quadratic in the body size at every join level. *)
+let joins_ahead unbound i =
+  match List.assoc_opt i unbound with
+  | None | Some [] -> false
+  | Some mine ->
+    List.exists
+      (fun (j, theirs) ->
+        j <> i
+        && List.exists (fun v -> List.exists (fun w -> Symbol.compare v w = 0) theirs) mine)
+      unbound
 
 let relation_size inst (a : Atom.t) =
   match Instance.relation inst a.Atom.pred with
@@ -102,11 +106,12 @@ let bindings ?gov ?(init = Symbol.Map.empty) ?forced inst atoms k =
          positions, then atoms joined to the rest through a still-unbound
          shared variable (isolated atoms cross-product, so they go last),
          then smaller relation. *)
+      let unbound = List.map (fun (i, a, _) -> (i, unbound_vars env a)) remaining in
       let score (i, a, size) =
         if i = forced_index then (max_int, 0, 0)
         else
           ( count_bound env a,
-            (if joins_ahead env remaining i a then 1 else 0),
+            (if joins_ahead unbound i then 1 else 0),
             -size )
       in
       let best =
@@ -133,9 +138,10 @@ let lead inst atoms =
   | [] -> invalid_arg "Eval.lead: empty body"
   | first :: _ as tagged ->
     let env = Symbol.Map.empty in
+    let unbound = List.map (fun (i, a, _) -> (i, unbound_vars env a)) tagged in
     let score (i, a, size) =
       ( count_bound env a,
-        (if joins_ahead env tagged i a then 1 else 0),
+        (if joins_ahead unbound i then 1 else 0),
         -size )
     in
     let _, best =

@@ -1,54 +1,71 @@
 (** Morsel-driven parallel evaluation of conjunctive queries and unions
     thereof.
 
-    The engine parallelizes exactly the scan the sequential planner would
-    perform first ({!Eval.lead}): the leading atom's candidate tuples are
-    split into morsels — the relation's hash-partition shards when the atom
-    is an unconstrained scan over a relation sealed with
-    {!Relation.seal}[ ~partitions], fixed-size chunks otherwise — and each
-    morsel runs the remaining join on a worker through {!Eval.bindings}'s
-    [~forced] hook. Per-worker answer sets are deduplicated locally and
-    merged under a mutex; results are byte-identical to {!Eval.ucq}'s
-    (same deduplication, same final sort).
+    On a sealed instance ({!Instance.seal}) the engine runs compiled
+    columnar plans ({!Col_eval}): each disjunct's leading scan is split
+    into contiguous row-range morsels over the relation's {!Columnar}
+    block, and answers are {e partition-owned} — every task hashes its
+    coded answers into task-private flat partition buckets (one blit of
+    [arity] ints per emitted match — duplicates included, bounded by the
+    governor's [eval.steps] budget when one is given), a second parallel
+    phase gives each of the P partitions to one worker for lock-free
+    sorting, deduplication and decoding, and the sequential tail is a pure
+    k-way concatenation-merge of disjoint sorted runs. No mutex is taken
+    and no per-answer heap block is allocated on the answer path.
+
+    Instances that are not sealed (or hold values outside the codable
+    range, see {!Value.code}) fall back to the boxed engine: leading-atom
+    morsels through {!Eval.bindings}'s [~forced] hook, per-worker
+    {!Tuple.Table} answer sets merged under a mutex. Either way results
+    are byte-identical to {!Eval.ucq}'s (same deduplication, same final
+    sort order).
 
     Governance survives parallelism: all workers poll the one shared
-    governor, [eval.steps] totals stay exact (telemetry counters are
-    atomic), and once the governor trips every worker winds down, yielding
-    the same partial-answer contract as the sequential path. The engine
-    additionally charges [eval.morsels] per dispatched morsel, records the
-    [eval.par.workers] peak gauge and accumulates merge time in the
-    [eval.par.merge] phase.
+    governor (the columnar engine charges [eval.steps] in batches, so the
+    shared atomic counter is off the per-tuple path), [eval.morsels] is
+    charged per dispatched task, the [eval.par.workers] peak gauge is
+    recorded, and merge time accumulates in the [eval.par.merge] phase —
+    all only when a governor is present; the ungoverned path takes no
+    timestamps and touches no telemetry.
 
     The instance must not be mutated during evaluation; callers seal it
-    first ({!Instance.seal}) so index reads are race-free. *)
+    first so index reads are race-free. *)
 
 open Tgd_logic
 
 val default_min_tuples : int
-(** Leading-scan size below which evaluation falls back to the sequential
-    path (per disjunct): 512. *)
+(** Leading-scan size below which a disjunct is evaluated sequentially
+    (still columnar when sealed): 512. *)
 
 val ucq :
   ?gov:Tgd_exec.Governor.t ->
   ?pool:Tgd_exec.Pool.t ->
   ?workers:int ->
   ?min_tuples:int ->
+  ?partitions:int ->
+  ?columnar:bool ->
   Instance.t ->
   Cq.ucq ->
   Tuple.t list
 (** Union of the answers of the disjuncts, deduplicated and sorted — the
     parallel counterpart of {!Eval.ucq}. Worker count is [workers] if
-    given, else the [pool]'s size, else {!Tgd_exec.Pool.default_workers};
-    with one worker (or a leading scan under [min_tuples]) the sequential
-    path runs unchanged. Morsels are dispatched through [pool] when given
-    (the caller participates; see {!Tgd_exec.Pool.run_morsels}), otherwise
-    through short-lived domains ({!Tgd_logic.Parallel.parallel_for}). *)
+    given, else the [pool]'s size, else {!Tgd_exec.Pool.default_workers}.
+    [partitions] is the answer-partition count P of the columnar merge
+    (default [4 × workers]; raises [Invalid_argument] when [< 1]); more
+    partitions balance skewed answer distributions, fewer amortize the
+    per-partition setup. [~columnar:false] forces the boxed engine even on
+    a sealed instance (debugging and differential testing). Morsels are
+    dispatched through [pool] when given (the caller participates; see
+    {!Tgd_exec.Pool.run_morsels}), otherwise through short-lived domains
+    ({!Tgd_logic.Parallel.parallel_for}). *)
 
 val cq :
   ?gov:Tgd_exec.Governor.t ->
   ?pool:Tgd_exec.Pool.t ->
   ?workers:int ->
   ?min_tuples:int ->
+  ?partitions:int ->
+  ?columnar:bool ->
   Instance.t ->
   Cq.t ->
   Tuple.t list

@@ -15,6 +15,13 @@ type t = {
   rows : unit Tuple.Table.t;
   indexes : Tuple.t list Vtbl.t option array; (* one optional index per column *)
   mutable partition : partition option;
+  mutable columnar : Columnar.t option;
+  (* [None] before the first seal and after any later insert; [Some _] only
+     while the block mirrors [rows] exactly. *)
+  mutable columnar_failed : bool;
+  (* An uncodable value was seen: stop re-attempting the encode on every
+     seal. Reset by insert (the offending tuple may be gone... it is not —
+     inserts only add — but the flag is cheap to keep precise per snapshot). *)
 }
 
 let create ~arity =
@@ -24,6 +31,8 @@ let create ~arity =
     rows = Tuple.Table.create 64;
     indexes = Array.make (max arity 1) None;
     partition = None;
+    columnar = None;
+    columnar_failed = false;
   }
 
 let arity r = r.arity
@@ -43,9 +52,11 @@ let insert r t =
     Array.iteri
       (fun pos idx -> match idx with None -> () | Some idx -> index_insert idx t pos)
       r.indexes;
-    (* Shards are a frozen snapshot of the rows; a grown relation must not
-       serve stale shards to the parallel evaluator. *)
+    (* Shards and the columnar block are frozen snapshots of the rows; a
+       grown relation must not serve stale ones to the parallel evaluator. *)
     r.partition <- None;
+    r.columnar <- None;
+    r.columnar_failed <- false;
     true
   end
 
@@ -110,8 +121,23 @@ let build_partition r ~parts =
     r;
   r.partition <- Some { pos; shards }
 
+let build_columnar r =
+  if r.columnar = None && not r.columnar_failed then begin
+    let tuples = Array.make (cardinality r) [||] in
+    let i = ref 0 in
+    iter
+      (fun t ->
+        tuples.(!i) <- t;
+        incr i)
+      r;
+    match Columnar.build ~arity:r.arity tuples with
+    | Some block -> r.columnar <- Some block
+    | None -> r.columnar_failed <- true
+  end
+
 let seal ?partitions r =
   build_all_indexes r;
+  build_columnar r;
   match partitions with
   | None -> ()
   | Some parts -> (
@@ -120,3 +146,4 @@ let seal ?partitions r =
     | Some _ | None -> build_partition r ~parts)
 
 let partition r = Option.map (fun p -> (p.pos, p.shards)) r.partition
+let columnar r = r.columnar

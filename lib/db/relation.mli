@@ -28,11 +28,16 @@ val build_all_indexes : t -> unit
     concurrently — nothing on the read path mutates. *)
 
 val seal : ?partitions:int -> t -> unit
-(** {!build_all_indexes}, and — when [partitions] is given — hash-partition
-    the rows into (at most) that many shards on the column with the most
-    distinct values, so the shards come out balanced. Idempotent for a given
-    shard count; raises [Invalid_argument] when [partitions <= 0]. The
-    partition is a frozen snapshot: any later {!insert} discards it. *)
+(** {!build_all_indexes}, encode the {!Columnar} block, and — when
+    [partitions] is given — hash-partition the rows into (at most) that many
+    shards on the column with the most distinct values, so the shards come
+    out balanced. Idempotent for a given shard count; raises
+    [Invalid_argument] when [partitions <= 0]. Both the block and the
+    partition are frozen snapshots: any later {!insert} discards them. *)
+
+val columnar : t -> Columnar.t option
+(** The columnar block built by the last {!seal}, if still valid and every
+    value was codable ({!Value.code}). *)
 
 val partition : t -> (int * Tuple.t array array) option
 (** The partition column and the shards built by the last {!seal}

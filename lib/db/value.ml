@@ -29,6 +29,27 @@ let pp ppf = function
   | Const c -> Symbol.pp ppf c
   | Null n -> Format.fprintf ppf "_n%d" n
 
+(* ------------------------------------------------------------------ *)
+(* Order-preserving integer code (columnar storage)                    *)
+
+(* Constants code to their symbol id, nulls to [null_base + label]: the
+   integer order of codes coincides with [compare] (all constants before
+   all nulls, then by id), so coded answer tuples can be deduplicated,
+   partitioned and sorted without decoding. Symbol ids are dense intern
+   indices and null labels are small positive counters, so the ranges
+   cannot collide in practice; [code] refuses (returns [None]) rather than
+   silently aliasing if they ever would. *)
+let null_base = 1 lsl 44
+
+let code = function
+  | Const c ->
+    let i = (c : Symbol.t :> int) in
+    if i >= 0 && i < null_base then Some i else None
+  | Null n -> if n >= 0 && n < null_base then Some (null_base + n) else None
+
+let decode i =
+  if i < null_base then Const (Symbol.of_int i) else Null (i - null_base)
+
 let of_term = function
   | Term.Const c -> Const c
   | Term.Var _ -> invalid_arg "Value.of_term: variable"

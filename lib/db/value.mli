@@ -14,6 +14,22 @@ val compare : t -> t -> int
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 
+val null_base : int
+(** First null code: constants code below it, nulls at or above it. *)
+
+val code : t -> int option
+(** Order-preserving integer code, the unit of columnar storage
+    ({!Columnar}): constants code to their symbol intern index, nulls to
+    [null_base + label]. The integer order of codes coincides with
+    {!compare} and the coding is injective, so coded tuples can be hashed,
+    deduplicated and sorted without decoding. [None] if the value falls
+    outside the codable range (a symbol index or null label [>= null_base],
+    or a negative null label) — callers then fall back to boxed tuples. *)
+
+val decode : int -> t
+(** Inverse of {!code}. Raises [Invalid_argument] on an integer no value
+    codes to. *)
+
 val of_term : Tgd_logic.Term.t -> t
 (** Converts a constant; raises [Invalid_argument] on a variable. *)
 

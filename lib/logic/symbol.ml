@@ -34,6 +34,11 @@ let intern s =
 
 let name i = !names.(i)
 
+let of_int i =
+  if i < 0 || i >= !count then
+    invalid_arg (Printf.sprintf "Symbol.of_int: %d is not an interned symbol" i);
+  i
+
 let fresh_counter = ref 0
 
 let fresh base =

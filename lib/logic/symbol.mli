@@ -15,6 +15,12 @@ val intern : string -> t
 val name : t -> string
 (** [name sym] is the spelling that was interned. *)
 
+val of_int : int -> t
+(** The symbol whose intern index is the given integer — the inverse of the
+    [(sym :> int)] coercion, used to decode columnar value codes
+    ({!Tgd_db.Value.decode}). Raises [Invalid_argument] if no symbol with
+    that index has been interned. *)
+
 val fresh : string -> t
 (** [fresh base] interns a new symbol spelled [base^"#"^n] for a process-wide
     counter [n]; the result is distinct from every previously interned

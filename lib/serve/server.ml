@@ -7,6 +7,7 @@ type t = {
   base_budget : Tgd_exec.Budget.t;
   config : Tgd_rewrite.Rewrite.config;
   eval_workers : int;
+  eval_partitions : int option;
   eval_pool : Tgd_exec.Pool.t option;
 }
 
@@ -18,13 +19,17 @@ let default_budget =
   }
 
 let create ?(cache_capacity = 1024) ?(base_budget = default_budget)
-    ?(config = Tgd_rewrite.Rewrite.default_config) ?(eval_workers = 1) () =
+    ?(config = Tgd_rewrite.Rewrite.default_config) ?(eval_workers = 1) ?eval_partitions () =
   if eval_workers <= 0 then invalid_arg "Server.create: eval_workers must be positive";
+  (match eval_partitions with
+  | Some p when p < 1 -> invalid_arg "Server.create: eval_partitions must be positive"
+  | Some _ | None -> ());
   let telemetry = Tgd_exec.Telemetry.create () in
   {
     registry =
-      (* Partitioned instances give the parallel evaluator its shard
-         morsels; a sequential server skips the partitioning work. *)
+      (* Sealing an installed instance always builds its columnar blocks;
+         a parallel server additionally hash-partitions for the boxed
+         fallback's shard morsels. *)
       (if eval_workers > 1 then Registry.create ~partitions:(eval_workers * 4) ()
        else Registry.create ());
     cache = Prepared.create ~capacity:cache_capacity ~telemetry ();
@@ -33,6 +38,7 @@ let create ?(cache_capacity = 1024) ?(base_budget = default_budget)
     (* Workers must not spawn nested domain pools for UCQ minimization. *)
     config = { config with Tgd_rewrite.Rewrite.domains = Some 1 };
     eval_workers;
+    eval_partitions;
     eval_pool =
       (if eval_workers > 1 then Some (Tgd_exec.Pool.create ~workers:eval_workers ()) else None);
   }
@@ -150,10 +156,10 @@ let handle_query t ~ontology ~query ~budget ~eval =
           let fields =
             if eval then begin
               let answers =
-                (if t.eval_workers > 1 then
-                   Tgd_db.Par_eval.ucq ~gov ?pool:t.eval_pool ~workers:t.eval_workers
-                     entry.Registry.instance prepared.Prepared.ucq
-                 else Tgd_db.Eval.ucq ~gov entry.Registry.instance prepared.Prepared.ucq)
+                (* Registry instances are sealed on install, so this runs
+                   the compiled columnar engine at any worker count. *)
+                Tgd_db.Par_eval.ucq ~gov ?pool:t.eval_pool ~workers:t.eval_workers
+                  ?partitions:t.eval_partitions entry.Registry.instance prepared.Prepared.ucq
                 |> List.filter (fun tup -> not (Tgd_db.Tuple.has_null tup))
               in
               let exact =

@@ -26,6 +26,7 @@ val create :
   ?base_budget:Tgd_exec.Budget.t ->
   ?config:Tgd_rewrite.Rewrite.config ->
   ?eval_workers:int ->
+  ?eval_partitions:int ->
   unit ->
   t
 (** A fresh server state. [base_budget] (default: 8s deadline, 200k
@@ -34,15 +35,18 @@ val create :
     rewriting configuration; its [domains] field is forced to 1 — worker
     domains must not spawn nested pools.
 
-    [eval_workers] (default 1) > 1 switches per-request UCQ evaluation to
-    the morsel-parallel engine ({!Tgd_db.Par_eval}) over a dedicated
-    {!Tgd_exec.Pool} of that many domains, and makes the registry
-    hash-partition every installed instance so scans split into shard
-    morsels. This parallelizes {e one heavy query}; the request-level
-    [workers] of {!run} parallelize {e many light queries} — the two pools
-    are distinct, so a request worker blocking on an eval batch can never
+    Per-request UCQ evaluation always runs on {!Tgd_db.Par_eval}'s
+    compiled columnar engine (registry instances are sealed on install).
+    [eval_workers] (default 1) > 1 additionally splits each query's
+    leading scans into morsels over a dedicated {!Tgd_exec.Pool} of that
+    many domains, and [eval_partitions] overrides the answer-partition
+    count of the lock-free merge (default [4 × eval_workers]). This
+    parallelizes {e one heavy query}; the request-level [workers] of
+    {!run} parallelize {e many light queries} — the two pools are
+    distinct, so a request worker blocking on an eval batch can never
     deadlock the admission queue. Call {!shutdown} when done to join the
-    eval pool. Raises [Invalid_argument] when [eval_workers <= 0]. *)
+    eval pool. Raises [Invalid_argument] when [eval_workers <= 0] or
+    [eval_partitions < 1]. *)
 
 val shutdown : t -> unit
 (** Join the parallel-evaluation pool, if any. Idempotent; a sequential

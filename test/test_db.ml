@@ -423,6 +423,128 @@ let test_sql_repeated_var_same_atom () =
   let q = Cq.make ~name:"q" ~answer:[ v "X" ] ~body:[ atom "p" [ v "X"; v "X" ] ] in
   Alcotest.(check bool) "self equality" true (contains (Sql.of_cq q) "t0.c1 = t0.c2")
 
+(* ------------------------------------------------------------------ *)
+(* Columnar sealed storage *)
+
+let test_columnar_roundtrip_basic () =
+  let r = Relation.create ~arity:2 in
+  ignore (Relation.insert r [| vc "a"; vc "b" |]);
+  ignore (Relation.insert r [| vc "a"; Value.Null 3 |]);
+  ignore (Relation.insert r [| Value.Null 0; vc "b" |]);
+  Alcotest.(check bool) "no block before seal" true (Relation.columnar r = None);
+  Relation.seal r;
+  match Relation.columnar r with
+  | None -> Alcotest.fail "seal built no columnar block"
+  | Some block ->
+    Alcotest.(check int) "arity" 2 (Columnar.arity block);
+    Alcotest.(check int) "nrows" 3 (Columnar.nrows block);
+    let decoded = ref [] in
+    Columnar.iter_rows (fun t -> decoded := t :: !decoded) block;
+    Alcotest.(check bool) "decoded rows are exactly the relation" true
+      (List.length !decoded = 3 && List.for_all (Relation.mem r) !decoded);
+    (* Probing column 0 for "a"'s code finds exactly the two "a"-rows. *)
+    (match Value.code (vc "a") with
+    | None -> Alcotest.fail "constant uncodable"
+    | Some code ->
+      let rows, start, len = Columnar.probe block ~col:0 code in
+      Alcotest.(check int) "probe hits" 2 len;
+      for k = start to start + len - 1 do
+        let t = Columnar.decode_row block rows.(k) in
+        Alcotest.(check bool) "probed row has the key" true (Value.equal t.(0) (vc "a"))
+      done);
+    (* Nulls code distinctly from every constant and decode back. *)
+    (match Value.code (Value.Null 3) with
+    | None -> Alcotest.fail "null uncodable"
+    | Some code ->
+      Alcotest.(check bool) "null decodes back" true
+        (Value.equal (Value.decode code) (Value.Null 3)))
+
+let gen_col_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun i -> vc (Printf.sprintf "c%d" i)) (int_bound 9));
+        (1, map (fun n -> Value.Null n) (int_bound 5));
+      ])
+
+let gen_col_tuples =
+  QCheck.Gen.(
+    int_range 1 3 >>= fun arity ->
+    int_range 0 60 >>= fun n ->
+    list_repeat n (map Array.of_list (list_repeat arity gen_col_value)) >>= fun tuples ->
+    return (arity, tuples))
+
+let arb_col_tuples =
+  QCheck.make
+    ~print:(fun (arity, tuples) -> Printf.sprintf "arity %d, %d tuples" arity (List.length tuples))
+    gen_col_tuples
+
+let sealed_relation_of arity tuples =
+  let r = Relation.create ~arity in
+  List.iter (fun t -> ignore (Relation.insert r t)) tuples;
+  Relation.seal r;
+  r
+
+let sorted_tuples_of_block block =
+  let acc = ref [] in
+  Columnar.iter_rows (fun t -> acc := t :: !acc) block;
+  List.sort Tuple.compare !acc
+
+let prop_columnar_roundtrip =
+  QCheck.Test.make ~name:"columnar encode/decode round-trips the tuple set" ~count:100
+    arb_col_tuples (fun (arity, tuples) ->
+      let r = sealed_relation_of arity tuples in
+      match Relation.columnar r with
+      | None -> false (* every generated value is codable *)
+      | Some block ->
+        (* Decoded block ≡ relation contents (deduplicated, order-free). *)
+        let expect = List.sort Tuple.compare (Relation.to_list r) in
+        let got = sorted_tuples_of_block block in
+        List.length got = List.length expect
+        && List.for_all2 Tuple.equal got expect
+        (* Code order ≡ value order: sorting coded rows lexicographically
+           must equal sorting the decoded tuples with [Tuple.compare] —
+           the invariant the partition-owned merge's byte-identity rests
+           on. *)
+        &&
+        let n = Columnar.nrows block in
+        let rows = Array.init n (fun i -> Array.init arity (fun j -> (Columnar.col block j).(i))) in
+        Array.sort (fun a b -> compare (a : int array) b) rows;
+        let by_codes = Array.to_list (Array.map (Array.map Value.decode) rows) in
+        List.for_all2 Tuple.equal by_codes got)
+
+let prop_columnar_codes_stable_under_reseal =
+  QCheck.Test.make ~name:"columnar codes are stable under re-seal" ~count:100 arb_col_tuples
+    (fun (arity, tuples) ->
+      let r = sealed_relation_of arity tuples in
+      let codes_of block =
+        let n = Columnar.nrows block in
+        List.init n (fun i ->
+            ( Format.asprintf "%a" Tuple.pp (Columnar.decode_row block i),
+              Array.init arity (fun j -> (Columnar.col block j).(i)) ))
+      in
+      match Relation.columnar r with
+      | None -> false
+      | Some block1 ->
+        let before = codes_of block1 in
+        (* Grow the relation (discarding the block) and re-seal: every
+           pre-existing tuple must re-encode to exactly the same codes. *)
+        ignore (Relation.insert r (Array.make arity (vc "fresh")));
+        if Relation.columnar r <> None then false
+        else begin
+          Relation.seal r;
+          match Relation.columnar r with
+          | None -> false
+          | Some block2 ->
+            let after = codes_of block2 in
+            List.for_all
+              (fun (key, codes) ->
+                match List.assoc_opt key after with
+                | None -> false
+                | Some codes' -> codes = codes')
+              before
+        end)
+
 let () =
   Alcotest.run "db"
     [
@@ -488,4 +610,9 @@ let () =
           Alcotest.test_case "quoting" `Quick test_sql_quote;
           Alcotest.test_case "repeated var" `Quick test_sql_repeated_var_same_atom;
         ] );
+      ( "columnar",
+        Alcotest.test_case "round trip with nulls and probes" `Quick
+          test_columnar_roundtrip_basic
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_columnar_roundtrip; prop_columnar_codes_stable_under_reseal ] );
     ]

@@ -2,7 +2,9 @@
    unit tests, and the qcheck equivalence property — morsel-parallel
    evaluation must agree with sequential evaluation (answers and truncation
    flag) across worker counts (1, 2, 4 and the TGDLIB_DOMAINS-derived
-   default) and random partition counts. *)
+   default), random partition counts, and BOTH engines: the compiled
+   columnar path (default on sealed instances) and the boxed fallback
+   forced via [~columnar:false]. *)
 
 open Tgd_logic
 open Tgd_db
@@ -141,11 +143,15 @@ let test_par_eval_join_equivalence () =
   List.iter
     (fun (workers, partitions) ->
       Instance.seal ~partitions inst;
-      let par = Par_eval.ucq ~workers ~min_tuples:1 inst [ join_query ] in
-      Alcotest.(check bool)
-        (Printf.sprintf "workers=%d partitions=%d equals sequential" workers partitions)
-        true
-        (List.length par = List.length reference && List.for_all2 Tuple.equal par reference))
+      List.iter
+        (fun columnar ->
+          let par = Par_eval.ucq ~workers ~min_tuples:1 ~columnar inst [ join_query ] in
+          Alcotest.(check bool)
+            (Printf.sprintf "workers=%d partitions=%d columnar=%b equals sequential" workers
+               partitions columnar)
+            true
+            (List.length par = List.length reference && List.for_all2 Tuple.equal par reference))
+        [ true; false ])
     [ (1, 1); (2, 2); (2, 8); (4, 4); (4, 16); (Tgd_exec.Pool.default_workers (), 5) ]
 
 let test_par_eval_shared_pool () =
@@ -168,12 +174,17 @@ let test_par_eval_truncation_flag () =
   let tiny = { Tgd_exec.Budget.unlimited with Tgd_exec.Budget.eval_steps = Some 1 } in
   let gov_seq = Tgd_exec.Governor.create ~budget:tiny () in
   ignore (Eval.ucq ~gov:gov_seq inst [ join_query ]);
-  let gov_par = Tgd_exec.Governor.create ~budget:tiny () in
-  ignore (Par_eval.ucq ~gov:gov_par ~workers:4 ~min_tuples:1 inst [ join_query ]);
+  List.iter
+    (fun columnar ->
+      let gov_par = Tgd_exec.Governor.create ~budget:tiny () in
+      ignore (Par_eval.ucq ~gov:gov_par ~workers:4 ~min_tuples:1 ~columnar inst [ join_query ]);
+      Alcotest.(check bool)
+        (Printf.sprintf "parallel (columnar=%b) trips the 1-step budget" columnar)
+        true
+        (Tgd_exec.Governor.stopped gov_par <> None))
+    [ true; false ];
   Alcotest.(check bool) "sequential trips the 1-step budget" true
     (Tgd_exec.Governor.stopped gov_seq <> None);
-  Alcotest.(check bool) "parallel trips the 1-step budget" true
-    (Tgd_exec.Governor.stopped gov_par <> None);
   let gov_free = Tgd_exec.Governor.create () in
   let par = Par_eval.ucq ~gov:gov_free ~workers:4 ~min_tuples:1 inst [ join_query ] in
   Alcotest.(check bool) "ungoverned parallel run completes" true
@@ -240,10 +251,14 @@ let prop_par_eval_equals_seq =
       let reference = Eval.ucq inst ucq in
       Instance.seal ~partitions inst;
       List.for_all
-        (fun workers ->
-          let par = Par_eval.ucq ~workers ~min_tuples:1 inst ucq in
-          List.length par = List.length reference && List.for_all2 Tuple.equal par reference)
-        [ 1; 2; 4; Tgd_exec.Pool.default_workers () ])
+        (fun columnar ->
+          List.for_all
+            (fun workers ->
+              let par = Par_eval.ucq ~workers ~min_tuples:1 ~columnar inst ucq in
+              List.length par = List.length reference
+              && List.for_all2 Tuple.equal par reference)
+            [ 1; 2; 4; Tgd_exec.Pool.default_workers () ])
+        [ true; false ])
 
 let prop_par_eval_truncates_like_seq =
   QCheck.Test.make ~name:"parallel evaluation truncates like sequential (1-step budget)"
@@ -253,9 +268,13 @@ let prop_par_eval_truncates_like_seq =
       let tiny = { Tgd_exec.Budget.unlimited with Tgd_exec.Budget.eval_steps = Some 1 } in
       let gov_seq = Tgd_exec.Governor.create ~budget:tiny () in
       ignore (Eval.ucq ~gov:gov_seq inst ucq);
-      let gov_par = Tgd_exec.Governor.create ~budget:tiny () in
-      ignore (Par_eval.ucq ~gov:gov_par ~workers:4 ~min_tuples:1 inst ucq);
-      (Tgd_exec.Governor.stopped gov_seq <> None) = (Tgd_exec.Governor.stopped gov_par <> None))
+      let seq_stopped = Tgd_exec.Governor.stopped gov_seq <> None in
+      List.for_all
+        (fun columnar ->
+          let gov_par = Tgd_exec.Governor.create ~budget:tiny () in
+          ignore (Par_eval.ucq ~gov:gov_par ~workers:4 ~min_tuples:1 ~columnar inst ucq);
+          seq_stopped = (Tgd_exec.Governor.stopped gov_par <> None))
+        [ true; false ])
 
 (* ------------------------------------------------------------------ *)
 
