@@ -1037,11 +1037,17 @@ let e18 () =
   check "columnar 1-worker leg regresses the boxed baseline <= 10%" ~expected:"yes"
     ~got:(if seq_ok then "yes" else "no");
   (* Headline: >= 3x at 4 workers on the 10^6-fact leg, measured against
-     the boxed sequential baseline (the engine this PR replaces). *)
+     the boxed sequential baseline (the engine this PR replaces). Like the
+     scaling check below, 4-worker wall clock needs real cores — on a
+     smaller host 4 domains time-slice and the ratio is load noise, so the
+     number is reported rather than scored. *)
   (match find_leg 1_000_000 "columnar" 4 with
-  | Some r ->
+  | Some r when host_domains >= 4 ->
     check ">= 3x speedup at 4 workers on the 10^6-fact leg (vs boxed 1-worker)" ~expected:"yes"
       ~got:(if r.speedup >= 3.0 then "yes" else "no")
+  | Some r ->
+    row "  (4-worker columnar speedup at 10^6 facts: %.2fx — host has %d domain(s), not scored)\n"
+      r.speedup host_domains
   | None -> ());
   (* Real parallel scaling needs real cores: scored on >= 4-domain hosts
      (CI's 4-vCPU leg), reported informationally elsewhere. *)
@@ -1113,6 +1119,120 @@ let e18 () =
   out "]}\n}\n";
   close_out oc;
   row "  wrote BENCH_parallel_eval.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* E19: incremental maintenance — delta-apply vs cold chase restart.    *)
+
+(* Mirrors what the server's add-facts path does: a live materialization
+   is extended by Delta_chase.apply (copy-on-write model copy included in
+   the timing), versus throwing the model away and re-chasing the merged
+   instance from scratch (also from a copy). The program is a chain of
+   three datalog steps plus one existential step, so the delta both joins
+   through old facts and invents fresh nulls above the floor. *)
+let e19 () =
+  section "E19 (incremental chase): delta-apply vs cold restart, ~100k-fact model, 1% batch";
+  let tgd name body head = Tgd.make ~name ~body ~head in
+  let v = Term.var in
+  let program =
+    Program.make_exn ~name:"incr"
+      [
+        tgd "t0" [ Atom.of_strings "r0" [ v "X"; v "Y" ] ] [ Atom.of_strings "r1" [ v "X"; v "Y" ] ];
+        tgd "t1" [ Atom.of_strings "r1" [ v "X"; v "Y" ] ] [ Atom.of_strings "r2" [ v "Y"; v "X" ] ];
+        tgd "t2" [ Atom.of_strings "r2" [ v "X"; v "Y" ] ] [ Atom.of_strings "visible" [ v "X" ] ];
+        (* Z is existential: every visible node gets one invented profile. *)
+        tgd "t3" [ Atom.of_strings "visible" [ v "X" ] ] [ Atom.of_strings "profile" [ v "X"; v "Z" ] ];
+      ]
+  in
+  let r0 = Symbol.intern "r0" in
+  let n_base = 25_000 in
+  let base = Tgd_db.Instance.create () in
+  for i = 0 to n_base - 1 do
+    ignore
+      (Tgd_db.Instance.add_fact base r0
+         [|
+           Tgd_db.Value.const (Printf.sprintf "c%d" (i mod 20_000));
+           Tgd_db.Value.const (Printf.sprintf "c%d" ((i * 7) mod 20_000));
+         |])
+  done;
+  (* The warm materialization the delta leg maintains. *)
+  let model = Tgd_db.Instance.copy base in
+  let warm_stats = Tgd_chase.Chase.run program model in
+  let model_facts = Tgd_db.Instance.cardinality model in
+  let floor = Tgd_db.Instance.max_null model in
+  row "  base facts: %d   materialized model: %d facts (%d nulls, chase %s)\n" n_base
+    model_facts warm_stats.Tgd_chase.Chase.nulls
+    (match warm_stats.Tgd_chase.Chase.outcome with
+    | Tgd_chase.Chase.Terminated -> "terminated"
+    | Tgd_chase.Chase.Truncated _ -> "TRUNCATED");
+  (* A 1% batch of fresh edges: new constants, so every insert starts a new
+     derivation chain through all four rules. *)
+  let n_batch = n_base / 100 in
+  let batch =
+    List.init n_batch (fun i ->
+        ( r0,
+          [|
+            Tgd_db.Value.const (Printf.sprintf "n%d" i);
+            Tgd_db.Value.const (Printf.sprintf "n%d" (i + 1));
+          |] ))
+  in
+  let last_delta = ref None in
+  let delta_wall =
+    time_median ~k:5 (fun () ->
+        let m = Tgd_db.Instance.copy model in
+        let stats = Tgd_chase.Delta_chase.apply ~null_floor:floor program m batch in
+        last_delta := Some (m, stats))
+  in
+  let cold_wall =
+    time_median ~k:5 (fun () ->
+        let m = Tgd_db.Instance.copy base in
+        List.iter (fun (pred, t) -> ignore (Tgd_db.Instance.add_fact m pred t)) batch;
+        ignore (Tgd_chase.Chase.run program m))
+  in
+  (* Agreement: the delta-applied model and a cold re-chase must coincide on
+     every null-free fact (certain-answer equivalence). *)
+  let cold = Tgd_db.Instance.copy base in
+  List.iter (fun (pred, t) -> ignore (Tgd_db.Instance.add_fact cold pred t)) batch;
+  ignore (Tgd_chase.Chase.run program cold);
+  let delta_model, delta_stats =
+    match !last_delta with Some (m, s) -> (m, s) | None -> assert false
+  in
+  let null_free inst =
+    Tgd_db.Instance.facts inst
+    |> List.filter (fun (_, t) -> not (Tgd_db.Tuple.has_null t))
+    |> List.sort compare
+  in
+  let agree = null_free delta_model = null_free cold in
+  let speedup = cold_wall /. delta_wall in
+  row "  cold restart: %.1f ms   delta-apply: %.1f ms   speedup: %.1fx\n" (cold_wall *. 1000.)
+    (delta_wall *. 1000.) speedup;
+  row "  delta stats: %d inserted, %d derived, %d nulls, %d triggers, %d rounds\n"
+    delta_stats.Tgd_chase.Delta_chase.inserted delta_stats.Tgd_chase.Delta_chase.derived
+    delta_stats.Tgd_chase.Delta_chase.nulls delta_stats.Tgd_chase.Delta_chase.triggers_fired
+    delta_stats.Tgd_chase.Delta_chase.rounds;
+  check "delta-apply agrees with cold restart on null-free facts" ~expected:"yes"
+    ~got:(if agree then "yes" else "no");
+  check "delta-apply at least 5x faster than cold restart" ~expected:"yes"
+    ~got:(if speedup >= 5.0 then "yes" else "no");
+  let oc = open_out "BENCH_incremental.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"bench_incremental/v1\",\n\
+    \  \"base_facts\": %d,\n\
+    \  \"model_facts\": %d,\n\
+    \  \"batch_facts\": %d,\n\
+    \  \"cold_ms\": %.3f,\n\
+    \  \"delta_ms\": %.3f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"agree_null_free\": %b,\n\
+    \  \"delta\": {\"inserted\": %d, \"derived\": %d, \"nulls\": %d, \"triggers\": %d, \
+     \"rounds\": %d}\n\
+     }\n"
+    n_base model_facts n_batch (cold_wall *. 1000.) (delta_wall *. 1000.) speedup agree
+    delta_stats.Tgd_chase.Delta_chase.inserted delta_stats.Tgd_chase.Delta_chase.derived
+    delta_stats.Tgd_chase.Delta_chase.nulls delta_stats.Tgd_chase.Delta_chase.triggers_fired
+    delta_stats.Tgd_chase.Delta_chase.rounds;
+  close_out oc;
+  row "  wrote BENCH_incremental.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                    *)
@@ -1236,5 +1356,6 @@ let () =
   e15 ();
   e16 ();
   e18 ();
+  e19 ();
   if not quick then run_bechamel ();
   Printf.printf "\nAll experiments done.\n"

@@ -659,7 +659,7 @@ let fuzz_cmd =
       & info [ "invariant" ] ~docv:"NAME"
           ~doc:
             "Check a single invariant (subsumption, differential, metamorphic, serve, \
-             eval-parallel, truncation) instead of the full registry.")
+             eval-parallel, truncation, update-sequence) instead of the full registry.")
   in
   let no_shrink =
     Arg.(
@@ -694,8 +694,9 @@ let fuzz_cmd =
          "Metamorphic conformance fuzzing: sweep a seeded stream of class-biased (ontology, \
           instance, query) cases through the cross-layer invariant registry (classifier \
           subsumption, rewrite/chase differential, metamorphic transforms, serve-path \
-          equivalence, eval-parallelism, truncation soundness), shrinking and persisting any \
-          failure. Exits 1 if any invariant fails.")
+          equivalence, eval-parallelism, truncation soundness, incremental update \
+          sequences), shrinking and persisting any failure. Exits 1 if any invariant \
+          fails.")
     Term.(
       const run $ seed $ cases $ corpus $ replay_dir $ invariant $ no_shrink $ stop_after $ json
       $ trace $ dump_dir)

@@ -1,0 +1,216 @@
+(* Delta-semi-naive incremental chase: extend a completed chase result by a
+   batch of inserted facts without recomputing from scratch. Only triggers
+   whose body touches a delta fact can be new — the same frontier discipline
+   semi-naive Datalog evaluation uses — so trigger discovery seeds every
+   join from the delta ([Trigger.find_new ~delta]) and never rescans the
+   sealed bulk. EGD merges are replayed the same way: a violation arising
+   after the batch must involve a touched fact, so the violation search is
+   seeded from the frontier and each merge substitutes only inside the
+   relations that actually contain the merged value (the touched
+   equivalence class), feeding the rewritten facts back into the
+   frontier. *)
+
+open Tgd_logic
+open Tgd_db
+open Tgd_exec
+
+type stats = {
+  outcome : Chase.outcome;
+  rounds : int;
+  inserted : int;
+  derived : int;
+  nulls : int;
+  triggers_fired : int;
+  merges : int;
+  consistent : bool;
+  violation : Egd_chase.violation option;
+}
+
+module Key_table = Hashtbl.Make (struct
+  type t = string * Tuple.t
+
+  let equal (n1, t1) (n2, t2) = String.equal n1 n2 && Tuple.equal t1 t2
+  let hash (n, t) = (Hashtbl.hash n * 31) + Tuple.hash t
+end)
+
+let default_governor ~max_rounds ~max_facts () =
+  Governor.create
+    ~budget:
+      {
+        Budget.unlimited with
+        Budget.chase_rounds = Some max_rounds;
+        chase_facts = Some max_facts;
+      }
+    ()
+
+exception Hard_v of Egd_chase.violation
+exception Merge_v of Value.t * Value.t (* from_, to_ *)
+
+(* Delta-seeded EGD violation search: like [Egd_chase.find_step], but every
+   join is forced through a frontier fact, so untouched equivalence classes
+   are never revisited. Sound because the instance was EGD-stable before
+   the batch: a fresh violation needs at least one touched fact. *)
+let find_egd_step ?gov egds inst ~delta =
+  try
+    List.iter
+      (fun (egd : Egd.t) ->
+        let check env =
+          let value v =
+            match Symbol.Map.find_opt v env with Some value -> value | None -> assert false
+          in
+          let l = value egd.Egd.left and r = value egd.Egd.right in
+          if not (Value.equal l r) then
+            match (l, r) with
+            | Value.Null _, _ -> raise (Merge_v (l, r))
+            | _, Value.Null _ -> raise (Merge_v (r, l))
+            | Value.Const _, Value.Const _ -> raise (Hard_v { Egd_chase.egd; v1 = l; v2 = r })
+        in
+        List.iteri
+          (fun i (a : Atom.t) ->
+            match Symbol.Table.find_opt delta a.Atom.pred with
+            | None | Some [] -> ()
+            | Some tuples -> Eval.bindings ?gov ~forced:(i, tuples) inst egd.Egd.body check)
+          egd.Egd.body)
+      egds;
+    `Stable
+  with
+  | Merge_v (from_, to_) -> `Merge (from_, to_)
+  | Hard_v v -> `Hard v
+
+let apply ?(variant = Chase.Restricted) ?(max_rounds = 1_000) ?(max_facts = 1_000_000) ?gov
+    ?null_floor ?(egds = []) program inst delta_facts =
+  let gov = match gov with Some g -> g | None -> default_governor ~max_rounds ~max_facts () in
+  let tele = Governor.telemetry gov in
+  let floor = match null_floor with Some f -> f | None -> Instance.max_null inst in
+  let gen = Null_gen.create ~start:floor () in
+  let fired : unit Key_table.t = Key_table.create 256 in
+  let inserted = ref 0 in
+  let derived = ref 0 in
+  let triggers_fired = ref 0 in
+  let rounds = ref 0 in
+  let merges = ref 0 in
+  let skipped_work = ref false in
+  let violation = ref None in
+  let push_delta tbl pred t =
+    let existing = Option.value ~default:[] (Symbol.Table.find_opt tbl pred) in
+    Symbol.Table.replace tbl pred (t :: existing)
+  in
+  let fact_mem pred t =
+    match Instance.relation inst pred with None -> false | Some rel -> Relation.mem rel t
+  in
+  (* EGD merges remove rewritten rows, so frontier tables can go stale;
+     keep only the tuples the instance still contains. *)
+  let filter_live tbl =
+    let out = Symbol.Table.create 16 in
+    Symbol.Table.iter
+      (fun pred tuples ->
+        match List.filter (fact_mem pred) tuples with
+        | [] -> ()
+        | live -> Symbol.Table.replace out pred live)
+      tbl;
+    out
+  in
+  let apply_trigger ~delta_out tr =
+    let k = Trigger.key tr in
+    if not (Key_table.mem fired k) then begin
+      Key_table.add fired k ();
+      let fire () =
+        incr triggers_fired;
+        Governor.charge gov Budget.key_chase_delta_triggers;
+        List.iter
+          (fun (pred, t) ->
+            if Instance.add_fact inst pred t then begin
+              incr derived;
+              push_delta delta_out pred t
+            end)
+          (Trigger.head_facts tr gen)
+      in
+      match variant with
+      | Chase.Oblivious -> fire ()
+      | Chase.Restricted -> if not (Trigger.is_satisfied ~gov tr inst) then fire ()
+    end
+  in
+  let tgd_round delta =
+    let delta_out : Tuple.t list Symbol.Table.t = Symbol.Table.create 16 in
+    let triggers = Trigger.find_new ~gov program inst ~delta:(Some delta) in
+    (* Same discipline as [Chase.run]: a stop observed here means discovery
+       was cut short, so an empty delta does not prove a fixpoint. *)
+    if Governor.stopped gov <> None then skipped_work := true;
+    List.iter
+      (fun tr -> if Governor.live gov then apply_trigger ~delta_out tr else skipped_work := true)
+      triggers;
+    incr rounds;
+    Governor.charge gov Budget.key_chase_rounds;
+    Governor.gauge gov Budget.key_chase_delta_facts (!inserted + !derived);
+    Governor.gauge gov Budget.key_chase_facts (Instance.cardinality inst);
+    delta_out
+  in
+  (* Replay EGD merges against the frontier until stable; hand back the
+     frontier for the next TGD round (surviving inputs plus every fact the
+     merges rewrote). *)
+  let egd_saturate frontier =
+    if egds = [] || Symbol.Table.length frontier = 0 then frontier
+    else begin
+      let fresh_all : Instance.fact list ref = ref [] in
+      let cur = ref frontier in
+      let continue_ = ref true in
+      while !continue_ && Governor.live gov && !violation = None do
+        if Symbol.Table.length !cur = 0 then continue_ := false
+        else
+          match find_egd_step ~gov egds inst ~delta:!cur with
+          | `Stable -> continue_ := false
+          | `Hard v -> violation := Some v
+          | `Merge (from_, to_) ->
+            incr merges;
+            Governor.charge gov "egd.merges";
+            let fresh = Instance.substitute inst ~from_ ~to_ in
+            fresh_all := fresh @ !fresh_all;
+            let next = filter_live !cur in
+            List.iter (fun (pred, t) -> if fact_mem pred t then push_delta next pred t) fresh;
+            cur := next
+      done;
+      if Governor.stopped gov <> None && !violation = None && Symbol.Table.length !cur > 0 then
+        skipped_work := true;
+      let out = filter_live frontier in
+      List.iter (fun (pred, t) -> if fact_mem pred t then push_delta out pred t) !fresh_all;
+      out
+    end
+  in
+  (* Seed the frontier with the batch itself. *)
+  let delta0 : Tuple.t list Symbol.Table.t = Symbol.Table.create 16 in
+  List.iter
+    (fun (pred, t) ->
+      if Instance.add_fact inst pred t then begin
+        incr inserted;
+        push_delta delta0 pred t
+      end)
+    delta_facts;
+  Governor.gauge gov Budget.key_chase_delta_facts !inserted;
+  (* The batch alone can violate an EGD — saturate before the first TGD
+     round, then alternate like [Egd_chase.run] but per frontier. *)
+  let delta = ref (egd_saturate delta0) in
+  while Governor.live gov && !violation = None && Symbol.Table.length !delta > 0 do
+    delta := egd_saturate (tgd_round !delta)
+  done;
+  Telemetry.gauge tele "chase.nulls" (Null_gen.count gen);
+  let pending = Symbol.Table.length !delta > 0 && !violation = None in
+  let outcome =
+    if pending || !skipped_work then begin
+      if Governor.stopped gov = None then
+        Governor.stop gov
+          (Governor.Limit { counter = Budget.key_chase_rounds; limit = max_rounds });
+      Chase.Truncated (Option.get (Governor.diagnostics gov))
+    end
+    else Chase.Terminated
+  in
+  {
+    outcome;
+    rounds = !rounds;
+    inserted = !inserted;
+    derived = !derived;
+    nulls = Null_gen.count gen;
+    triggers_fired = !triggers_fired;
+    merges = !merges;
+    consistent = !violation = None;
+    violation = !violation;
+  }

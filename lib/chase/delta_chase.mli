@@ -1,0 +1,61 @@
+(** Delta-semi-naive incremental chase maintenance.
+
+    Given an instance that is already a (restricted) chase fixpoint for a
+    program, {!apply} folds in a batch of inserted facts by firing only the
+    triggers whose body joins through a delta fact — the semi-naive
+    frontier discipline — extending the universal model and its null space
+    monotonically instead of recomputing the chase from scratch. EGDs are
+    composed the same way: violation search is seeded from the frontier and
+    each merge rewrites only the touched equivalence class (the relations
+    actually containing the merged value, located through column indexes),
+    with rewritten facts fed back into trigger discovery.
+
+    The result is a universal model of the accumulated data: it agrees with
+    a from-scratch chase on every null-free fact and on certain answers,
+    and is homomorphically equivalent to it (the from-scratch restricted
+    chase may pick different nulls or avoid some, so agreement is up to
+    hom-equivalence, not graph identity). The conformance harness's
+    update-sequence invariant checks exactly this after every batch.
+
+    Work is charged to the governor under the dedicated
+    [chase.delta.triggers] / [chase.delta.facts] budget keys (plus the
+    shared [chase.rounds] / [chase.facts]); a budget stop yields a
+    {!Chase.Truncated} outcome and an instance that is a sound partial
+    extension (every fact it contains is entailed). *)
+
+open Tgd_db
+
+type stats = {
+  outcome : Chase.outcome;
+      (** [Terminated] iff the delta reached a fixpoint within budget *)
+  rounds : int;  (** delta-restricted chase rounds run *)
+  inserted : int;  (** batch facts that were actually new to the instance *)
+  derived : int;  (** facts added by trigger firing beyond the batch *)
+  nulls : int;  (** fresh nulls invented (numbered above the floor) *)
+  triggers_fired : int;
+  merges : int;  (** EGD merges replayed against touched classes *)
+  consistent : bool;  (** [false] iff a hard EGD violation surfaced *)
+  violation : Egd_chase.violation option;
+}
+
+val apply :
+  ?variant:Chase.variant ->
+  ?max_rounds:int ->
+  ?max_facts:int ->
+  ?gov:Tgd_exec.Governor.t ->
+  ?null_floor:int ->
+  ?egds:Egd.t list ->
+  Tgd_logic.Program.t ->
+  Instance.t ->
+  Instance.fact list ->
+  stats
+(** [apply program inst batch] mutates [inst], which must be a completed
+    chase result for [program] (and EGD-stable when [egds] is non-empty);
+    on a non-fixpoint it is still sound but may rediscover triggers the
+    full chase would have fired. Fresh nulls are numbered above
+    [null_floor] (default: {!Instance.max_null}[ inst], i.e. scanned) so
+    the extension never collides with existing nulls — callers that keep a
+    materialization alive across batches should thread the floor through
+    to skip the scan. Default budgets mirror {!Chase.run}
+    ([max_rounds = 1000], [max_facts = 1_000_000]); an explicit [gov]
+    overrides both. *)

@@ -1,9 +1,9 @@
-type t = { mutable counter : int }
+type t = { start : int; mutable counter : int }
 
-let create () = { counter = 0 }
+let create ?(start = 0) () = { start; counter = start }
 
 let next g =
   g.counter <- g.counter + 1;
   Tgd_db.Value.Null g.counter
 
-let count g = g.counter
+let count g = g.counter - g.start

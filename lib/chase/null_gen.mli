@@ -3,6 +3,13 @@
 
 type t
 
-val create : unit -> t
+val create : ?start:int -> unit -> t
+(** A generator whose first null is [Null (start + 1)]. The default
+    [start = 0] yields [Null 1, Null 2, ...]; incremental maintenance
+    ({!Delta_chase}) passes the highest null id already present in the
+    instance so extension stays monotone and collision-free. *)
+
 val next : t -> Tgd_db.Value.t
+
 val count : t -> int
+(** Nulls handed out by this generator (excludes the [start] offset). *)

@@ -85,6 +85,28 @@ let random_cq rng p =
   in
   Cq.make ~name:"q" ~answer ~body
 
+(* Update sequences are derived from the case's own seed (through an odd
+   affine transform, so the batch stream is independent of the streams that
+   built the case) rather than stored in the case: corpus serialization,
+   shrinking and CLI replay stay unchanged, and any case — including a
+   handcrafted corpus one — has a well-defined update sequence. *)
+let update_batches (case : Case.t) =
+  let rng = Rng.create ((case.Case.seed * 0x41C64E6D) + 0x3039) in
+  let preds = Program.predicates case.Case.program in
+  if preds = [] then []
+  else begin
+    let n_batches = 1 + Rng.int rng 8 in
+    List.init n_batches (fun _ ->
+        let n_facts = 1 + Rng.int rng 4 in
+        List.init n_facts (fun _ ->
+            let pred, arity = Rng.choose rng preds in
+            (* The constant pool overlaps Gen_db's base-instance domain so
+               inserted facts join against pre-existing ones. *)
+            Atom.make pred
+              (List.init arity (fun _ ->
+                   Term.const (Printf.sprintf "d%d" (Rng.int rng 6))))))
+  end
+
 let case ~seed ~index =
   (* SplitMix64 states separated by a large odd constant give independent
      streams; the derived value is also the case's reproduction seed. *)

@@ -24,3 +24,9 @@ val family_name : family -> string
 
 val case : seed:int -> index:int -> Case.t
 (** The [index]-th case of stream [seed]. Deterministic. *)
+
+val update_batches : Case.t -> Tgd_logic.Atom.t list list
+(** 1–8 insert batches of ground atoms, a pure function of the case's seed
+    (works for corpus cases too). The update-sequence invariant applies them
+    one by one, checking the incremental chase against a from-scratch one
+    after every batch. *)

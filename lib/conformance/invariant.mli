@@ -1,7 +1,7 @@
 (** The registry of cross-layer conformance invariants.
 
-    Five invariant classes, each a metamorphic or differential statement the
-    paper (or the serving architecture) promises:
+    Seven invariant classes, each a metamorphic or differential statement
+    the paper (or the serving architecture) promises:
 
     - {b subsumption}: the classifier lattice holds — linear ⊆ multilinear ⊆
       guarded, linear/multilinear ⊆ SWR on simple sets, sticky ⊆ sticky-join,
@@ -16,9 +16,17 @@
     - {b serve}: the serving path (registry + prepared cache + epochs) returns
       byte-identical JSON answers to direct rewrite∘evaluate, across cache
       misses, hits, and epoch bumps — and never serves a stale epoch;
+    - {b eval-parallel}: morsel-parallel evaluation agrees byte-for-byte
+      with sequential evaluation, at worker/partition counts derived from
+      the case seed;
     - {b truncation}: budget-truncated runs are sound — the answers of a
       truncated rewriting and of a truncated chase are subsets of the
-      complete ones.
+      complete ones;
+    - {b update-sequence}: applying 1–8 fuzzed insert batches through the
+      incremental chase ({!Tgd_chase.Delta_chase}) yields, after every
+      batch, the same certain answers, the same null-free facts, and a
+      model hom-equivalent in both directions to a from-scratch chase of
+      the accumulated facts.
 
     Every check consults the stack only through an {!Oracle.t}, so a fault
     injected into one oracle field must be caught by the corresponding

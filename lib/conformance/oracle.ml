@@ -18,6 +18,13 @@ type t = {
     Tgd_chase.Certain.result;
   chase_run :
     max_rounds:int -> max_facts:int -> Program.t -> Tgd_db.Instance.t -> Tgd_chase.Chase.stats;
+  delta_apply :
+    max_rounds:int ->
+    max_facts:int ->
+    Program.t ->
+    Tgd_db.Instance.t ->
+    Tgd_db.Instance.fact list ->
+    Tgd_chase.Delta_chase.stats;
   canon_key : Cq.t -> string;
   serve_handle :
     Tgd_serve.Server.t ->
@@ -65,6 +72,9 @@ let real =
     chase_run =
       (fun ~max_rounds ~max_facts p inst ->
         Tgd_chase.Chase.run ~gov:(governed ~max_rounds ~max_facts) p inst);
+    delta_apply =
+      (fun ~max_rounds ~max_facts p inst batch ->
+        Tgd_chase.Delta_chase.apply ~gov:(governed ~max_rounds ~max_facts) p inst batch);
     canon_key = (fun q -> (Tgd_serve.Canon.of_cq q).Tgd_serve.Canon.key);
     serve_handle = (fun server req -> Tgd_serve.Server.handle server req);
   }

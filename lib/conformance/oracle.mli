@@ -32,6 +32,15 @@ type t = {
     Tgd_chase.Certain.result;
   chase_run :
     max_rounds:int -> max_facts:int -> Program.t -> Tgd_db.Instance.t -> Tgd_chase.Chase.stats;
+  delta_apply :
+    max_rounds:int ->
+    max_facts:int ->
+    Program.t ->
+    Tgd_db.Instance.t ->
+    Tgd_db.Instance.fact list ->
+    Tgd_chase.Delta_chase.stats;
+      (** the incremental chase: extend a previously chased [inst] {e in
+          place} with an insert batch ({!Tgd_chase.Delta_chase.apply}) *)
   canon_key : Cq.t -> string;
       (** the prepared-cache canonical key: must be invariant under
           consistent variable renaming and body reordering *)

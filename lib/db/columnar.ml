@@ -72,6 +72,85 @@ let build ~arity (tuples : Tuple.t array) =
     Some { arity; nrows; cols; indexes }
   with Uncodable -> None
 
+(* Extend a CSR index with rows [old_n ..] of the (already extended)
+   column, without rehashing the sealed prefix: each group keeps its old
+   segment (blitted) followed by the appended row ids. *)
+let extend_index idx (col : int array) ~old_n =
+  let n = Array.length col in
+  let groups = Hashtbl.copy idx.groups in
+  let old_ngroups = Array.length idx.starts - 1 in
+  let counts = ref (Array.make (old_ngroups + 16) 0) in
+  let ngroups = ref old_ngroups in
+  for i = old_n to n - 1 do
+    let c = Array.unsafe_get col i in
+    let g =
+      match Hashtbl.find_opt groups c with
+      | Some g -> g
+      | None ->
+        let g = !ngroups in
+        Hashtbl.add groups c g;
+        incr ngroups;
+        g
+    in
+    if g >= Array.length !counts then begin
+      let bigger = Array.make (2 * Array.length !counts) 0 in
+      Array.blit !counts 0 bigger 0 (Array.length !counts);
+      counts := bigger
+    end;
+    !counts.(g) <- !counts.(g) + 1
+  done;
+  let starts = Array.make (!ngroups + 1) 0 in
+  for g = 0 to !ngroups - 1 do
+    let old_len = if g < old_ngroups then idx.starts.(g + 1) - idx.starts.(g) else 0 in
+    let new_len = if g < Array.length !counts then !counts.(g) else 0 in
+    starts.(g + 1) <- starts.(g) + old_len + new_len
+  done;
+  let rows = Array.make n 0 in
+  let fill = Array.make (max !ngroups 1) 0 in
+  for g = 0 to !ngroups - 1 do
+    let pos = starts.(g) in
+    if g < old_ngroups then begin
+      let o = idx.starts.(g) and len = idx.starts.(g + 1) - idx.starts.(g) in
+      Array.blit idx.rows o rows pos len;
+      fill.(g) <- pos + len
+    end
+    else fill.(g) <- pos
+  done;
+  for i = old_n to n - 1 do
+    let g = Hashtbl.find groups (Array.unsafe_get col i) in
+    rows.(fill.(g)) <- i;
+    fill.(g) <- fill.(g) + 1
+  done;
+  { groups; starts; rows }
+
+let extend t (tuples : Tuple.t array) =
+  let added = Array.length tuples in
+  if added = 0 then Some t
+  else begin
+    let old_n = t.nrows in
+    let nrows = old_n + added in
+    let cols =
+      Array.init
+        (max t.arity 1)
+        (fun j ->
+          let c = Array.make nrows 0 in
+          Array.blit t.cols.(j) 0 c 0 old_n;
+          c)
+    in
+    try
+      for i = 0 to added - 1 do
+        let tup = tuples.(i) in
+        for j = 0 to t.arity - 1 do
+          match Value.code tup.(j) with
+          | Some c -> cols.(j).(old_n + i) <- c
+          | None -> raise Uncodable
+        done
+      done;
+      let indexes = Array.init t.arity (fun j -> extend_index t.indexes.(j) cols.(j) ~old_n) in
+      Some { arity = t.arity; nrows; cols; indexes }
+    with Uncodable -> None
+  end
+
 let col t j = t.cols.(j)
 
 let probe t ~col code =

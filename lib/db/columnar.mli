@@ -15,6 +15,14 @@ val build : arity:int -> Tuple.t array -> t option
 (** Encode a tuple snapshot. [None] when some value has no integer code
     (see {!Value.code}) — callers keep serving the boxed representation. *)
 
+val extend : t -> Tuple.t array -> t option
+(** [extend t appended] is a new block holding [t]'s rows followed by
+    [appended], without re-encoding or re-hashing the sealed prefix: old
+    columns are blitted, only the appended tuples are coded, and each CSR
+    index grows by its group's new row ids. The input block is untouched
+    (blocks stay immutable — in-flight readers of [t] are unaffected).
+    [None] when some appended value has no integer code. *)
+
 val arity : t -> int
 
 val nrows : t -> int

@@ -8,10 +8,7 @@ let create () = { relations = Symbol.Table.create 32 }
 let copy inst =
   let fresh = create () in
   Symbol.Table.iter
-    (fun pred rel ->
-      let rel' = Relation.create ~arity:(Relation.arity rel) in
-      Relation.iter (fun t -> ignore (Relation.insert rel' t)) rel;
-      Symbol.Table.add fresh.relations pred rel')
+    (fun pred rel -> Symbol.Table.add fresh.relations pred (Relation.copy rel))
     inst.relations;
   fresh
 
@@ -62,6 +59,26 @@ let of_atoms atoms =
   let inst = create () in
   List.iter (fun a -> ignore (add_ground_atom inst a)) atoms;
   inst
+
+let substitute inst ~from_ ~to_ =
+  let fresh = ref [] in
+  Symbol.Table.iter
+    (fun pred rel ->
+      List.iter
+        (fun t -> fresh := (pred, t) :: !fresh)
+        (Relation.substitute rel ~from_ ~to_))
+    inst.relations;
+  !fresh
+
+let max_null inst =
+  let best = ref 0 in
+  iter_facts
+    (fun (_, t) ->
+      Array.iter
+        (fun v -> match v with Value.Null n -> if n > !best then best := n | _ -> ())
+        t)
+    inst;
+  !best
 
 let build_indexes inst =
   Symbol.Table.iter (fun _ rel -> Relation.build_all_indexes rel) inst.relations

@@ -9,8 +9,11 @@ type fact = Symbol.t * Tuple.t
 val create : unit -> t
 
 val copy : t -> t
-(** Deep copy: relations (and their tuples' identity) are shared-nothing,
-    so chasing the copy never disturbs the original. *)
+(** Copy-on-write copy (see {!Relation.copy}): the row sets and indexes are
+    structurally duplicated while frozen seal artifacts (columnar blocks,
+    partitions) are shared, so mutating the copy — chasing it, appending a
+    delta — never disturbs the original, and sealing the copy after an
+    append extends the shared block instead of re-encoding it. *)
 
 val add_fact : t -> Symbol.t -> Tuple.t -> bool
 (** [true] iff the fact is new. Creates the relation on first use; raises
@@ -37,6 +40,17 @@ val to_atoms : t -> Atom.t list
     by homomorphism checks). *)
 
 val of_atoms : Atom.t list -> t
+
+val substitute : t -> from_:Value.t -> to_:Value.t -> fact list
+(** Rewrite every fact containing [from_] in place (see
+    {!Relation.substitute}), replacing it with [to_]. Returns the rewritten
+    facts that are new to the instance — the touched frontier an EGD delta
+    replay feeds back into trigger discovery. *)
+
+val max_null : t -> int
+(** The largest labeled-null id occurring in the instance ([0] when
+    null-free): the floor for a {!Tgd_chase.Null_gen} that must extend the
+    null space monotonically. *)
 
 val build_indexes : t -> unit
 (** Pre-build every per-column index of every relation ("seal" the instance

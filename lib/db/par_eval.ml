@@ -13,8 +13,11 @@
 
    The boxed engine is the pre-columnar fallback — kept for instances that
    are not sealed or hold uncodable values: leading-atom morsels over
-   [Eval.bindings]'s [~forced] hook, per-worker [Tuple.Table]s merged under
-   a global mutex.
+   [Eval.bindings]'s [~forced] hook. Its merge follows the same
+   partition-owned discipline as the columnar engine — tasks hash boxed
+   answers into task-private per-partition buckets, one worker per
+   partition dedups and sorts, and the sorted disjoint partitions fold
+   together in a linear merge — so no mutex is taken here either.
 
    Both engines poll the one shared governor, so budgets and truncation
    semantics survive parallelism; both return answers byte-identical to
@@ -65,38 +68,28 @@ let run_batch ?pool ~workers n f =
   | Some p -> Tgd_exec.Pool.run_morsels p ~n f
   | None -> Parallel.parallel_for ~domains:workers ~n f
 
-let boxed_ucq ?gov ?pool ~workers ~min_tuples inst disjuncts =
-  let acc = Tuple.Table.create 64 in
-  let lock = Mutex.create () in
-  let merge local =
-    (* The ungoverned path takes no timestamps: two [gettimeofday] syscalls
-       per morsel are pure waste when there is no telemetry sink to account
-       them to. *)
-    match gov with
-    | None ->
-      Mutex.lock lock;
-      Tuple.Table.iter
-        (fun t () -> if not (Tuple.Table.mem acc t) then Tuple.Table.add acc t ())
-        local;
-      Mutex.unlock lock
-    | Some g ->
-      let t0 = Unix.gettimeofday () in
-      Mutex.lock lock;
-      Tuple.Table.iter
-        (fun t () -> if not (Tuple.Table.mem acc t) then Tuple.Table.add acc t ())
-        local;
-      Mutex.unlock lock;
-      Tgd_exec.Telemetry.add_span (Tgd_exec.Governor.telemetry g) "eval.par.merge"
-        (Unix.gettimeofday () -. t0)
-  in
+let boxed_ucq ?gov ?pool ~workers ~min_tuples ~partitions inst disjuncts =
+  let parts_n = partitions in
+  let part_of t = Tuple.hash t land max_int mod parts_n in
+  (* Answers land in per-partition list buckets: the sequential paths own
+     [seq_buckets], each parallel morsel owns one slot of its batch's
+     bucket table, and the coordinating thread collects the slots after the
+     batch — no lock is taken anywhere on the answer path. Per-task
+     [Tuple.Table]s dedup within a morsel only; cross-task duplicates are
+     the partition owner's job in phase 2. *)
+  let seq_buckets = Array.make parts_n [] in
+  let all_buckets : Tuple.t list array list ref = ref [] in
   List.iter
     (fun (q : Cq.t) ->
-      (* Disjuncts run one after another; only the morsel batch below is
-         concurrent, so the sequential path may write [acc] directly. *)
       let collect_seq () =
+        let local = Tuple.Table.create 64 in
         Eval.bindings ?gov inst q.Cq.body (fun env ->
             let t = Eval.answer_tuple env q.Cq.answer in
-            if not (Tuple.Table.mem acc t) then Tuple.Table.add acc t ())
+            if not (Tuple.Table.mem local t) then begin
+              Tuple.Table.add local t ();
+              let p = part_of t in
+              seq_buckets.(p) <- t :: seq_buckets.(p)
+            end)
       in
       match q.Cq.body with
       | [] -> collect_seq ()
@@ -114,15 +107,49 @@ let boxed_ucq ?gov ?pool ~workers ~min_tuples inst disjuncts =
           (match gov with
           | Some g -> Tgd_exec.Governor.charge ~n g "eval.morsels"
           | None -> ());
+          let slots = Array.make n [||] in
           run_batch ?pool ~workers n (fun m ->
+              let locals = Array.make parts_n [] in
               let local = Tuple.Table.create 256 in
               Eval.bindings ?gov ~forced:(lead_idx, morsels.(m)) inst body (fun env ->
                   let t = Eval.answer_tuple env q.Cq.answer in
-                  if not (Tuple.Table.mem local t) then Tuple.Table.add local t ());
-              merge local)
+                  if not (Tuple.Table.mem local t) then begin
+                    Tuple.Table.add local t ();
+                    let p = part_of t in
+                    locals.(p) <- t :: locals.(p)
+                  end);
+              slots.(m) <- locals);
+          Array.iter (fun b -> if Array.length b > 0 then all_buckets := b :: !all_buckets) slots
         end)
     disjuncts;
-  Tuple.Table.fold (fun t () l -> t :: l) acc [] |> List.sort Tuple.compare
+  (* Phase 2: partition-owned dedup + sort. Partition [p] is touched by
+     exactly one worker, which merges the sequential bucket and every
+     task's bucket for [p] through a private table. *)
+  let merge_t0 = match gov with Some _ -> Unix.gettimeofday () | None -> 0.0 in
+  let buckets = Array.of_list !all_buckets in
+  let parts = Array.make parts_n [] in
+  let merge_partition p =
+    let table = Tuple.Table.create 64 in
+    let add t = if not (Tuple.Table.mem table t) then Tuple.Table.add table t () in
+    List.iter add seq_buckets.(p);
+    Array.iter (fun b -> List.iter add b.(p)) buckets;
+    parts.(p) <- Tuple.Table.fold (fun t () l -> t :: l) table [] |> List.sort Tuple.compare
+  in
+  if workers <= 1 || parts_n = 1 then
+    for p = 0 to parts_n - 1 do
+      merge_partition p
+    done
+  else run_batch ?pool ~workers parts_n merge_partition;
+  (* Phase 3: equal answers hash to the same partition, so the partitions
+     are disjoint and folding sorted merges reproduces
+     [List.sort Tuple.compare] over the union exactly. *)
+  let result = Array.fold_left (fun acc l -> List.merge Tuple.compare acc l) [] parts in
+  (match gov with
+  | Some g ->
+    Tgd_exec.Telemetry.add_span (Tgd_exec.Governor.telemetry g) "eval.par.merge"
+      (Unix.gettimeofday () -. merge_t0)
+  | None -> ());
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Columnar engine                                                     *)
@@ -346,19 +373,18 @@ let ucq ?gov ?pool ?workers ?(min_tuples = default_min_tuples) ?partitions ?(col
   (match gov with
   | Some g when workers > 1 -> Tgd_exec.Governor.gauge g "eval.par.workers" workers
   | Some _ | None -> ());
+  let partitions =
+    match partitions with
+    | Some p when p >= 1 -> if workers <= 1 then 1 else p
+    | Some p -> invalid_arg (Printf.sprintf "Par_eval.ucq: partitions must be >= 1, got %d" p)
+    | None -> if workers <= 1 then 1 else default_partitions ~workers
+  in
   let columnar_plans = if columnar then compile_all inst disjuncts else None in
   match columnar_plans with
-  | Some plans ->
-    let partitions =
-      match partitions with
-      | Some p when p >= 1 -> if workers <= 1 then 1 else p
-      | Some p -> invalid_arg (Printf.sprintf "Par_eval.ucq: partitions must be >= 1, got %d" p)
-      | None -> if workers <= 1 then 1 else default_partitions ~workers
-    in
-    columnar_ucq ?gov ?pool ~workers ~min_tuples ~partitions plans
+  | Some plans -> columnar_ucq ?gov ?pool ~workers ~min_tuples ~partitions plans
   | None ->
     if workers <= 1 then Eval.ucq ?gov inst disjuncts
-    else boxed_ucq ?gov ?pool ~workers ~min_tuples inst disjuncts
+    else boxed_ucq ?gov ?pool ~workers ~min_tuples ~partitions inst disjuncts
 
 let cq ?gov ?pool ?workers ?min_tuples ?partitions ?columnar inst q =
   ucq ?gov ?pool ?workers ?min_tuples ?partitions ?columnar inst [ q ]

@@ -16,8 +16,13 @@ type t = {
   indexes : Tuple.t list Vtbl.t option array; (* one optional index per column *)
   mutable partition : partition option;
   mutable columnar : Columnar.t option;
-  (* [None] before the first seal and after any later insert; [Some _] only
-     while the block mirrors [rows] exactly. *)
+  (* The last sealed block. [Some _] with an empty [pending] means the block
+     mirrors [rows] exactly; with a non-empty [pending] the block covers a
+     prefix and the next seal extends it ({!Columnar.extend}) instead of
+     re-encoding everything. *)
+  mutable pending : Tuple.t list;
+  (* Tuples inserted since the block was built, newest first. Only grows
+     while [columnar] is [Some _]. *)
   mutable columnar_failed : bool;
   (* An uncodable value was seen: stop re-attempting the encode on every
      seal. Reset by insert (the offending tuple may be gone... it is not —
@@ -32,7 +37,24 @@ let create ~arity =
     indexes = Array.make (max arity 1) None;
     partition = None;
     columnar = None;
+    pending = [];
     columnar_failed = false;
+  }
+
+(* Copy-on-write duplication: the hashtable and index tables are duplicated
+   (cheap structural copies — keys and the tuples themselves are shared and
+   never mutated), while the frozen snapshots (columnar block, partition
+   shards, pending tail) are shared outright. Either side can keep
+   inserting without the other observing it. *)
+let copy r =
+  {
+    arity = r.arity;
+    rows = Tuple.Table.copy r.rows;
+    indexes = Array.map (Option.map Vtbl.copy) r.indexes;
+    partition = r.partition;
+    columnar = r.columnar;
+    pending = r.pending;
+    columnar_failed = r.columnar_failed;
   }
 
 let arity r = r.arity
@@ -52,11 +74,14 @@ let insert r t =
     Array.iteri
       (fun pos idx -> match idx with None -> () | Some idx -> index_insert idx t pos)
       r.indexes;
-    (* Shards and the columnar block are frozen snapshots of the rows; a
-       grown relation must not serve stale ones to the parallel evaluator. *)
+    (* Shards are frozen snapshots of the rows; a grown relation must not
+       serve stale ones to the parallel evaluator. The columnar block is
+       kept alongside a pending tail so the next seal can extend it in
+       place of a full re-encode. *)
     r.partition <- None;
-    r.columnar <- None;
-    r.columnar_failed <- false;
+    (match r.columnar with
+    | Some _ -> r.pending <- t :: r.pending
+    | None -> r.columnar_failed <- false);
     true
   end
 
@@ -122,18 +147,30 @@ let build_partition r ~parts =
   r.partition <- Some { pos; shards }
 
 let build_columnar r =
-  if r.columnar = None && not r.columnar_failed then begin
-    let tuples = Array.make (cardinality r) [||] in
-    let i = ref 0 in
-    iter
-      (fun t ->
-        tuples.(!i) <- t;
-        incr i)
-      r;
-    match Columnar.build ~arity:r.arity tuples with
+  match r.columnar with
+  | Some block when r.pending <> [] -> (
+    (* Sealed-instance append path: code only the tail, blit the rest. *)
+    let tail = Array.of_list (List.rev r.pending) in
+    r.pending <- [];
+    match Columnar.extend block tail with
     | Some block -> r.columnar <- Some block
-    | None -> r.columnar_failed <- true
-  end
+    | None ->
+      r.columnar <- None;
+      r.columnar_failed <- true)
+  | Some _ -> ()
+  | None ->
+    if not r.columnar_failed then begin
+      let tuples = Array.make (cardinality r) [||] in
+      let i = ref 0 in
+      iter
+        (fun t ->
+          tuples.(!i) <- t;
+          incr i)
+        r;
+      match Columnar.build ~arity:r.arity tuples with
+      | Some block -> r.columnar <- Some block
+      | None -> r.columnar_failed <- true
+    end
 
 let seal ?partitions r =
   build_all_indexes r;
@@ -146,4 +183,59 @@ let seal ?partitions r =
     | Some _ | None -> build_partition r ~parts)
 
 let partition r = Option.map (fun p -> (p.pos, p.shards)) r.partition
-let columnar r = r.columnar
+
+let columnar r =
+  (* A block with a pending tail is stale: readers get [None] until the
+     next seal extends it. *)
+  match r.pending with [] -> r.columnar | _ :: _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Value substitution (EGD merges)                                     *)
+
+let index_remove idx t pos =
+  let key = t.(pos) in
+  match Vtbl.find_opt idx key with
+  | None -> ()
+  | Some l -> (
+    match List.filter (fun u -> not (Tuple.equal u t)) l with
+    | [] -> Vtbl.remove idx key
+    | l' -> Vtbl.replace idx key l')
+
+let substitute r ~from_ ~to_ =
+  let affected = Tuple.Table.create 8 in
+  for pos = 0 to r.arity - 1 do
+    List.iter (fun t -> Tuple.Table.replace affected t ()) (lookup r ~pos from_)
+  done;
+  if Tuple.Table.length affected = 0 then []
+  else begin
+    (* Remove every affected row first, then insert the rewritten rows:
+       a replacement may collide with another affected original. *)
+    Tuple.Table.iter
+      (fun old () ->
+        Tuple.Table.remove r.rows old;
+        Array.iteri
+          (fun pos idx ->
+            match idx with None -> () | Some idx -> index_remove idx old pos)
+          r.indexes)
+      affected;
+    let fresh = ref [] in
+    Tuple.Table.iter
+      (fun old () ->
+        let nw = Array.map (fun v -> if Value.equal v from_ then to_ else v) old in
+        if not (Tuple.Table.mem r.rows nw) then begin
+          Tuple.Table.add r.rows nw ();
+          Array.iteri
+            (fun pos idx ->
+              match idx with None -> () | Some idx -> index_insert idx nw pos)
+            r.indexes;
+          fresh := nw :: !fresh
+        end)
+      affected;
+    (* Substitution rewrites sealed rows, so the extend path is invalid:
+       drop every frozen snapshot. *)
+    r.partition <- None;
+    r.columnar <- None;
+    r.pending <- [];
+    r.columnar_failed <- false;
+    !fresh
+  end

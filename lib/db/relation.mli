@@ -9,6 +9,13 @@ val create : arity:int -> t
 val arity : t -> int
 val cardinality : t -> int
 
+val copy : t -> t
+(** Copy-on-write duplicate: the row set and indexes are structurally
+    copied (the tuples themselves are shared — they are never mutated),
+    and the frozen seal artifacts (columnar block, partition, pending
+    append tail) are shared outright. Inserting into either side leaves
+    the other unchanged. *)
+
 val insert : t -> Tuple.t -> bool
 (** [true] iff the tuple was not already present. Raises [Invalid_argument]
     on an arity mismatch. *)
@@ -32,12 +39,25 @@ val seal : ?partitions:int -> t -> unit
     [partitions] is given — hash-partition the rows into (at most) that many
     shards on the column with the most distinct values, so the shards come
     out balanced. Idempotent for a given shard count; raises
-    [Invalid_argument] when [partitions <= 0]. Both the block and the
-    partition are frozen snapshots: any later {!insert} discards them. *)
+    [Invalid_argument] when [partitions <= 0]. The partition is a frozen
+    snapshot that any later {!insert} discards; the columnar block instead
+    survives inserts as a stale prefix plus a pending tail, and the next
+    seal {e extends} it ({!Columnar.extend}) — only the appended tuples are
+    coded, nothing is re-hashed. *)
 
 val columnar : t -> Columnar.t option
-(** The columnar block built by the last {!seal}, if still valid and every
-    value was codable ({!Value.code}). *)
+(** The columnar block built by the last {!seal}, if it still mirrors the
+    rows exactly (no insert since) and every value was codable
+    ({!Value.code}). *)
+
+val substitute : t -> from_:Value.t -> to_:Value.t -> Tuple.t list
+(** Rewrite, in place, every row containing [from_] (located through the
+    per-column indexes) by replacing [from_] with [to_]. Returns the
+    rewritten rows that are new to the relation (a rewrite may collide
+    with an existing row). Discards every frozen seal artifact — rewriting
+    sealed rows cannot be expressed as an append. The EGD delta path
+    ({!Tgd_chase.Delta_chase}) uses this to replay merges against only the
+    touched equivalence class. *)
 
 val partition : t -> (int * Tuple.t array array) option
 (** The partition column and the shards built by the last {!seal}

@@ -2,6 +2,8 @@ type t = {
   chase_rounds : int option;
   chase_facts : int option;
   chase_triggers : int option;
+  chase_delta_triggers : int option;
+  chase_delta_facts : int option;
   rewrite_cqs : int option;
   rewrite_expansions : int option;
   rewrite_depth : int option;
@@ -15,6 +17,8 @@ let unlimited =
     chase_rounds = None;
     chase_facts = None;
     chase_triggers = None;
+    chase_delta_triggers = None;
+    chase_delta_facts = None;
     rewrite_cqs = None;
     rewrite_expansions = None;
     rewrite_depth = None;
@@ -26,6 +30,8 @@ let unlimited =
 let key_chase_rounds = "chase.rounds"
 let key_chase_facts = "chase.facts"
 let key_chase_triggers = "chase.triggers"
+let key_chase_delta_triggers = "chase.delta.triggers"
+let key_chase_delta_facts = "chase.delta.facts"
 let key_rewrite_cqs = "rewrite.cqs"
 let key_rewrite_expansions = "rewrite.expansions"
 let key_rewrite_depth = "rewrite.depth"
@@ -36,6 +42,8 @@ let limit t key =
   if String.equal key key_chase_rounds then t.chase_rounds
   else if String.equal key key_chase_facts then t.chase_facts
   else if String.equal key key_chase_triggers then t.chase_triggers
+  else if String.equal key key_chase_delta_triggers then t.chase_delta_triggers
+  else if String.equal key key_chase_delta_facts then t.chase_delta_facts
   else if String.equal key key_rewrite_cqs then t.rewrite_cqs
   else if String.equal key key_rewrite_expansions then t.rewrite_expansions
   else if String.equal key key_rewrite_depth then t.rewrite_depth
@@ -50,6 +58,8 @@ let set t key v =
   | "chase.rounds" | "rounds" -> Ok { t with chase_rounds = Some v }
   | "chase.facts" | "facts" -> Ok { t with chase_facts = Some v }
   | "chase.triggers" | "triggers" -> Ok { t with chase_triggers = Some v }
+  | "chase.delta.triggers" | "delta.triggers" -> Ok { t with chase_delta_triggers = Some v }
+  | "chase.delta.facts" | "delta.facts" -> Ok { t with chase_delta_facts = Some v }
   | "rewrite.cqs" | "cqs" -> Ok { t with rewrite_cqs = Some v }
   | "rewrite.expansions" | "expansions" -> Ok { t with rewrite_expansions = Some v }
   | "rewrite.depth" | "depth" -> Ok { t with rewrite_depth = Some v }
@@ -87,6 +97,8 @@ let to_string t =
       (key_chase_rounds, t.chase_rounds);
       (key_chase_facts, t.chase_facts);
       (key_chase_triggers, t.chase_triggers);
+      (key_chase_delta_triggers, t.chase_delta_triggers);
+      (key_chase_delta_facts, t.chase_delta_facts);
       (key_rewrite_cqs, t.rewrite_cqs);
       (key_rewrite_expansions, t.rewrite_expansions);
       (key_rewrite_depth, t.rewrite_depth);

@@ -11,6 +11,11 @@ type request =
       name : string;
       source : source;
     }
+  | Add_facts of {
+      name : string;
+      source : source;
+    }
+  | Materialize of { name : string }
   | Prepare of {
       ontology : string;
       query : string;
@@ -56,6 +61,13 @@ let request_of j =
     let* name = required "name" j in
     let* source = source_of j in
     Ok (Load_csv { name; source })
+  | "add-facts" ->
+    let* name = required "name" j in
+    let* source = source_of j in
+    Ok (Add_facts { name; source })
+  | "materialize" ->
+    let* name = required "name" j in
+    Ok (Materialize { name })
   | "prepare" ->
     let* ontology = required "ontology" j in
     let* query = required "query" j in

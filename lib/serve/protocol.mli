@@ -10,6 +10,8 @@
     {v
       {"op":"register-ontology","id":1,"name":"uni","source":"person(X) -> ..."}
       {"op":"load-csv","id":2,"name":"uni","file":"data/uni.csv"}
+      {"op":"add-facts","id":7,"name":"uni","source":"person,carol"}
+      {"op":"materialize","id":8,"name":"uni"}
       {"op":"prepare","id":3,"ontology":"uni","query":"q(X) :- person(X)."}
       {"op":"execute","id":4,"ontology":"uni","query":"q(X) :- person(X).","budget":"deadline=0.5"}
       {"op":"stats","id":5}
@@ -33,6 +35,12 @@ type request =
       name : string;
       source : source;
     }
+  | Add_facts of {
+      name : string;
+      source : source;
+    }  (** CSV payload; a data-only mutation — delta epoch bump *)
+  | Materialize of { name : string }
+      (** build the chase materialization kept alive across [add-facts] *)
   | Prepare of {
       ontology : string;
       query : string;

@@ -1,10 +1,24 @@
 open Tgd_logic
 
+type materialization = {
+  model : Tgd_db.Instance.t;
+  floor : int;
+  complete : bool;
+}
+
 type entry = {
   name : string;
   epoch : int;
+  delta_epoch : int;
   program : Program.t;
   instance : Tgd_db.Instance.t;
+  materialization : materialization option;
+}
+
+type mutation = {
+  entry : entry;
+  added : int;
+  delta : Tgd_chase.Delta_chase.stats option;
 }
 
 type t = {
@@ -13,6 +27,8 @@ type t = {
   (* Highest epoch ever used per name: survives re-registration so epochs
      stay monotone over the registry's lifetime. *)
   last_epoch : (string, int) Hashtbl.t;
+  (* Highest delta epoch per name, monotone the same way. *)
+  last_delta : (string, int) Hashtbl.t;
   partitions : int option;
 }
 
@@ -21,6 +37,7 @@ let create ?partitions () =
     lock = Mutex.create ();
     entries = Hashtbl.create 8;
     last_epoch = Hashtbl.create 8;
+    last_delta = Hashtbl.create 8;
     partitions;
   }
 
@@ -28,16 +45,40 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let next_epoch t name =
-  let e = 1 + Option.value ~default:0 (Hashtbl.find_opt t.last_epoch name) in
-  Hashtbl.replace t.last_epoch name e;
+let next_counter tbl name =
+  let e = 1 + Option.value ~default:0 (Hashtbl.find_opt tbl name) in
+  Hashtbl.replace tbl name e;
   e
 
 let install t name program instance =
   Tgd_db.Instance.seal ?partitions:t.partitions instance;
   locked t (fun () ->
-      let entry = { name; epoch = next_epoch t name; program; instance } in
+      let entry =
+        {
+          name;
+          epoch = next_counter t.last_epoch name;
+          delta_epoch = next_counter t.last_delta name;
+          program;
+          instance;
+          materialization = None;
+        }
+      in
       Hashtbl.replace t.entries name entry;
+      entry)
+
+(* A data-only mutation: the full epoch — the prepared-cache key — stays
+   put, because a rewriting depends only on the TGDs; only the delta epoch
+   bumps. *)
+let install_delta t (prev : entry) instance materialization =
+  Tgd_db.Instance.seal ?partitions:t.partitions instance;
+  (match materialization with
+  | Some m -> Tgd_db.Instance.seal ?partitions:t.partitions m.model
+  | None -> ());
+  locked t (fun () ->
+      let entry =
+        { prev with delta_epoch = next_counter t.last_delta prev.name; instance; materialization }
+      in
+      Hashtbl.replace t.entries prev.name entry;
       entry)
 
 let register t ~name ?facts program =
@@ -50,22 +91,80 @@ let register t ~name ?facts program =
 
 let find t name = locked t (fun () -> Hashtbl.find_opt t.entries name)
 
-let merge_csv t ~name load =
+let add_facts ?gov t ~name facts =
   match find t name with
   | None -> Error (Printf.sprintf "unknown ontology %S" name)
-  | Some entry -> (
+  | Some entry ->
+    (* Copy-on-write: in-flight readers keep the old sealed instance, and
+       the copy shares the frozen columnar blocks, so re-sealing after the
+       append extends them instead of re-encoding. *)
+    let merged = Tgd_db.Instance.copy entry.instance in
+    let added =
+      List.filter (fun (pred, tup) -> Tgd_db.Instance.add_fact merged pred tup) facts
+    in
+    let materialization, delta =
+      match entry.materialization with
+      | None -> (None, None)
+      | Some m ->
+        (* The chase materialization stays alive: apply the delta to a
+           copy-on-write extension of the model instead of cold-starting. *)
+        let model = Tgd_db.Instance.copy m.model in
+        let stats =
+          Tgd_chase.Delta_chase.apply ?gov ~null_floor:m.floor entry.program model added
+        in
+        let complete =
+          m.complete
+          && stats.Tgd_chase.Delta_chase.consistent
+          && stats.Tgd_chase.Delta_chase.outcome = Tgd_chase.Chase.Terminated
+        in
+        ( Some { model; floor = m.floor + stats.Tgd_chase.Delta_chase.nulls; complete },
+          Some stats )
+    in
+    Ok { entry = install_delta t entry merged materialization; added = List.length added; delta }
+
+let materialize ?gov t ~name =
+  match find t name with
+  | None -> Error (Printf.sprintf "unknown ontology %S" name)
+  | Some entry ->
+    let model = Tgd_db.Instance.copy entry.instance in
+    let stats = Tgd_chase.Chase.run ?gov entry.program model in
+    let m =
+      {
+        model;
+        floor = Tgd_db.Instance.max_null model;
+        complete = stats.Tgd_chase.Chase.outcome = Tgd_chase.Chase.Terminated;
+      }
+    in
+    Tgd_db.Instance.seal ?partitions:t.partitions model;
+    let entry =
+      locked t (fun () ->
+          (* A cache fill, not a mutation: both epochs stay put. Re-read the
+             current entry under the lock so a racing mutation is not
+             clobbered — if one slipped in, its materialization (or absence)
+             wins and this model is dropped. *)
+          match Hashtbl.find_opt t.entries name with
+          | Some cur when cur.epoch = entry.epoch && cur.delta_epoch = entry.delta_epoch ->
+            let e = { cur with materialization = Some m } in
+            Hashtbl.replace t.entries name e;
+            e
+          | Some cur -> cur
+          | None -> entry)
+    in
+    Ok (entry, stats)
+
+let merge_csv ?gov t ~name load =
+  match find t name with
+  | None -> Error (Printf.sprintf "unknown ontology %S" name)
+  | Some _ -> (
     match load () with
     | Error msg -> Error msg
-    | Ok extra ->
-      (* Copy-on-write: in-flight readers keep the old sealed instance. *)
-      let merged = Tgd_db.Instance.copy entry.instance in
-      Tgd_db.Instance.iter_facts
-        (fun (pred, tup) -> ignore (Tgd_db.Instance.add_fact merged pred tup))
-        extra;
-      Ok (install t name entry.program merged))
+    | Ok extra -> add_facts ?gov t ~name (Tgd_db.Instance.facts extra))
 
-let load_csv_string t ~name src = merge_csv t ~name (fun () -> Tgd_db.Csv_io.load_string src)
-let load_csv_file t ~name path = merge_csv t ~name (fun () -> Tgd_db.Csv_io.load_file path)
+let load_csv_string ?gov t ~name src =
+  merge_csv ?gov t ~name (fun () -> Tgd_db.Csv_io.load_string src)
+
+let load_csv_file ?gov t ~name path =
+  merge_csv ?gov t ~name (fun () -> Tgd_db.Csv_io.load_file path)
 
 let list t =
   locked t (fun () ->

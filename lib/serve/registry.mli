@@ -1,27 +1,50 @@
 (** Named (ontology, instance) pairs with monotone epochs — the server's
     mutable root state.
 
-    Every mutation (registering or replacing an ontology, merging CSV
-    facts) produces a {e new} immutable entry with a bumped epoch and swaps
-    it in under the registry lock; the instance inside an entry is sealed
-    ({!Tgd_db.Instance.build_indexes}) and never mutated afterwards, so any
-    number of worker domains can evaluate against a snapshotted entry while
-    the control loop installs a successor. Prepared-query cache keys embed
-    the epoch, so a bump invalidates every dependent cached artifact
-    without any cross-structure bookkeeping.
+    Every mutation produces a {e new} immutable entry and swaps it in under
+    the registry lock; the instance inside an entry is sealed
+    ({!Tgd_db.Instance.seal}) and never mutated afterwards, so any number
+    of worker domains can evaluate against a snapshotted entry while the
+    control loop installs a successor.
 
-    Epochs are monotone per name for the lifetime of the registry —
-    re-registering a name continues its epoch sequence rather than
-    restarting it, so a cache entry can never be resurrected by a
-    drop/re-add cycle. *)
+    Epochs come in two grades. The {b full epoch} bumps only on ontology
+    edits ({!register}): it is the prepared-cache key component, because a
+    UCQ rewriting depends on the TGDs alone. Data-only mutations
+    ({!add_facts}, the CSV loaders) bump the cheap {b delta epoch}
+    instead — prepared rewritings stay warm across them, the copy-on-write
+    instance shares its frozen columnar blocks with the predecessor
+    (re-sealing extends them, {!Tgd_db.Columnar.extend}), and a live chase
+    {b materialization} is maintained incrementally by
+    {!Tgd_chase.Delta_chase} instead of cold-starting.
+
+    Both epochs are monotone per name for the lifetime of the registry —
+    re-registering a name continues its sequences rather than restarting
+    them, so a cache entry can never be resurrected by a drop/re-add
+    cycle. *)
 
 open Tgd_logic
 
+type materialization = {
+  model : Tgd_db.Instance.t;  (** sealed universal model of the entry *)
+  floor : int;  (** null floor for the next delta application *)
+  complete : bool;  (** chase reached its fixpoint within budget *)
+}
+
 type entry = {
   name : string;
-  epoch : int;  (** monotone per name; bumped by every mutation *)
+  epoch : int;  (** monotone per name; bumped by ontology edits only *)
+  delta_epoch : int;  (** monotone per name; bumped by every data mutation *)
   program : Program.t;
   instance : Tgd_db.Instance.t;  (** sealed: safe for concurrent readers *)
+  materialization : materialization option;
+      (** chase materialization kept alive across {!add_facts} *)
+}
+
+type mutation = {
+  entry : entry;
+  added : int;  (** batch facts that were new to the instance *)
+  delta : Tgd_chase.Delta_chase.stats option;
+      (** delta-apply statistics when a materialization was maintained *)
 }
 
 type t
@@ -32,14 +55,32 @@ val create : ?partitions:int -> unit -> t
     server's parallel evaluator can split scans into morsels. *)
 
 val register : t -> name:string -> ?facts:Tgd_db.Instance.t -> Program.t -> entry
-(** Install (or replace) an ontology under [name]. The optional initial
-    facts are copied, sealed and owned by the entry. *)
+(** Install (or replace) an ontology under [name]: a full-epoch bump. The
+    optional initial facts are copied, sealed and owned by the entry; any
+    previous materialization is dropped (it belonged to the old program). *)
 
-val load_csv_string : t -> name:string -> string -> (entry, string) result
-(** Merge CSV facts into [name]'s instance (copy-on-write: readers of the
-    previous entry are unaffected) and bump the epoch. *)
+val add_facts :
+  ?gov:Tgd_exec.Governor.t ->
+  t ->
+  name:string ->
+  Tgd_db.Instance.fact list ->
+  (mutation, string) result
+(** Append a batch of facts to [name]'s instance (copy-on-write; delta
+    epoch bump only) and, when a materialization is alive, extend it with
+    {!Tgd_chase.Delta_chase.apply} under [gov] instead of re-chasing. *)
 
-val load_csv_file : t -> name:string -> string -> (entry, string) result
+val materialize :
+  ?gov:Tgd_exec.Governor.t -> t -> name:string -> (entry * Tgd_chase.Chase.stats, string) result
+(** Build (or rebuild) the chase materialization for [name]'s current
+    entry. A cache fill, not a mutation: neither epoch bumps, and a racing
+    data mutation wins over the model computed here. *)
+
+val load_csv_string :
+  ?gov:Tgd_exec.Governor.t -> t -> name:string -> string -> (mutation, string) result
+(** Merge CSV facts into [name]'s instance through {!add_facts}. *)
+
+val load_csv_file :
+  ?gov:Tgd_exec.Governor.t -> t -> name:string -> string -> (mutation, string) result
 
 val find : t -> string -> entry option
 (** Snapshot of the current entry; stable even while mutations proceed. *)

@@ -189,9 +189,76 @@ let registered_fields (entry : Registry.entry) =
   [
     ("name", Json.String entry.Registry.name);
     ("epoch", Json.Int entry.Registry.epoch);
+    ("delta_epoch", Json.Int entry.Registry.delta_epoch);
     ("rules", Json.Int (Program.size entry.Registry.program));
     ("facts", Json.Int (Tgd_db.Instance.cardinality entry.Registry.instance));
   ]
+
+(* A data-only mutation answered: count it under the serve.delta.* keys and
+   surface the incremental-apply statistics when a materialization was
+   maintained. *)
+let delta_fields t (m : Registry.mutation) =
+  ignore (Tgd_exec.Telemetry.add t.telemetry "serve.delta.batches" 1);
+  ignore (Tgd_exec.Telemetry.add t.telemetry "serve.delta.facts" m.Registry.added);
+  let fields = registered_fields m.Registry.entry @ [ ("added", Json.Int m.Registry.added) ] in
+  match m.Registry.delta with
+  | None -> fields
+  | Some stats ->
+    ignore
+      (Tgd_exec.Telemetry.add t.telemetry "serve.delta.triggers"
+         stats.Tgd_chase.Delta_chase.triggers_fired);
+    ignore
+      (Tgd_exec.Telemetry.add t.telemetry "serve.delta.derived"
+         stats.Tgd_chase.Delta_chase.derived);
+    fields
+    @ [
+        ("materialized", Json.Bool true);
+        ("derived", Json.Int stats.Tgd_chase.Delta_chase.derived);
+        ( "delta_complete",
+          Json.Bool (stats.Tgd_chase.Delta_chase.outcome = Tgd_chase.Chase.Terminated) );
+      ]
+
+(* Data mutations and materialization run under the server's default
+   budget too (chase.delta.* keys bound the per-batch incremental chase),
+   topped with the chase engines' own safety caps when the budget leaves
+   them open — an explicit governor disables the engine defaults, and a
+   divergent ontology must not chase unbounded on a data path. *)
+let mutation_governor t =
+  let fill v ~default =
+    match v with
+    | None -> Some default
+    | some -> some
+  in
+  let budget =
+    {
+      t.base_budget with
+      Tgd_exec.Budget.chase_rounds =
+        fill t.base_budget.Tgd_exec.Budget.chase_rounds ~default:1000;
+      chase_facts = fill t.base_budget.Tgd_exec.Budget.chase_facts ~default:1_000_000;
+    }
+  in
+  let request_tele = Tgd_exec.Telemetry.create () in
+  (Tgd_exec.Governor.create ~budget ~telemetry:request_tele (), request_tele)
+
+(* load-csv and add-facts share this path: both append facts copy-on-write
+   under a delta epoch bump — the prepared cache stays warm (the full
+   epoch, its key component, does not move). *)
+let handle_data_mutation t ~name ~source =
+  let t0 = Unix.gettimeofday () in
+  let gov, request_tele = mutation_governor t in
+  let loaded =
+    match source with
+    | Protocol.Inline src -> Registry.load_csv_string ~gov t.registry ~name src
+    | Protocol.File path -> Registry.load_csv_file ~gov t.registry ~name path
+  in
+  match loaded with
+  | Error msg ->
+    if Registry.find t.registry name = None then Error ("unknown_ontology", msg)
+    else Error ("bad_request", msg)
+  | Ok m ->
+    Tgd_exec.Telemetry.merge_into ~into:t.telemetry request_tele;
+    Tgd_exec.Telemetry.add_span t.telemetry "serve.delta.apply" (Unix.gettimeofday () -. t0);
+    Ok (delta_fields t m)
 
 let handle t (request : Protocol.request) =
   match request with
@@ -205,19 +272,28 @@ let handle t (request : Protocol.request) =
         let entry = Registry.register t.registry ~name ~facts program in
         let purged = Prepared.purge t.cache ~ontology:name ~keep_epoch:entry.Registry.epoch in
         Ok (registered_fields entry @ [ ("purged", Json.Int purged) ])))
-  | Protocol.Load_csv { name; source } -> (
-    let loaded =
-      match source with
-      | Protocol.Inline src -> Registry.load_csv_string t.registry ~name src
-      | Protocol.File path -> Registry.load_csv_file t.registry ~name path
-    in
-    match loaded with
-    | Error msg ->
-      if Registry.find t.registry name = None then Error ("unknown_ontology", msg)
-      else Error ("bad_request", msg)
-    | Ok entry ->
-      let purged = Prepared.purge t.cache ~ontology:name ~keep_epoch:entry.Registry.epoch in
-      Ok (registered_fields entry @ [ ("purged", Json.Int purged) ]))
+  | Protocol.Load_csv { name; source } -> handle_data_mutation t ~name ~source
+  | Protocol.Add_facts { name; source } -> handle_data_mutation t ~name ~source
+  | Protocol.Materialize { name } -> (
+    let t0 = Unix.gettimeofday () in
+    let gov, request_tele = mutation_governor t in
+    match Registry.materialize ~gov t.registry ~name with
+    | Error msg -> Error ("unknown_ontology", msg)
+    | Ok (entry, stats) ->
+      Tgd_exec.Telemetry.merge_into ~into:t.telemetry request_tele;
+      Tgd_exec.Telemetry.add_span t.telemetry "serve.materialize" (Unix.gettimeofday () -. t0);
+      let model_facts =
+        match entry.Registry.materialization with
+        | Some m -> Tgd_db.Instance.cardinality m.Registry.model
+        | None -> 0
+      in
+      Ok
+        (registered_fields entry
+        @ [
+            ("model_facts", Json.Int model_facts);
+            ( "chase_complete",
+              Json.Bool (stats.Tgd_chase.Chase.outcome = Tgd_chase.Chase.Terminated) );
+          ]))
   | Protocol.Prepare { ontology; query } ->
     handle_query t ~ontology ~query ~budget:None ~eval:false
   | Protocol.Execute { ontology; query; budget } ->
@@ -305,7 +381,8 @@ let run ?workers ?(queue_bound = 64) t ic oc =
               answer id (Ok [ ("stopping", Json.Bool true) ]);
               outcome := `Shutdown;
               stop := true
-            | Protocol.Register_ontology _ | Protocol.Load_csv _ | Protocol.Stats ->
+            | Protocol.Register_ontology _ | Protocol.Load_csv _ | Protocol.Add_facts _
+            | Protocol.Materialize _ | Protocol.Stats ->
               (* Registry mutations fence on in-flight queries — an epoch bump
                  must not race requests admitted before it — and stats waits
                  too, so its counters reflect every previously admitted

@@ -29,7 +29,7 @@ let test_fixed_seed_sweep () =
   let summary = Harness.run ~seed ~cases () in
   if summary.Harness.failed > 0 then Alcotest.fail (Harness.summary_to_string summary);
   Alcotest.(check int) "every case swept" cases summary.Harness.cases;
-  Alcotest.(check int) "six checks per case" (cases * 6) summary.Harness.checks
+  Alcotest.(check int) "seven checks per case" (cases * 7) summary.Harness.checks
 
 (* ------------------------------------------------------------------ *)
 (* Determinism                                                          *)
@@ -199,6 +199,64 @@ let test_mutant_truncation () =
   in
   expect_caught ~name:"invented-answer" ~invariant:"truncation" ~cases:3 mutant
 
+(* An incremental chase that inserts the batch but skips every delta-joined
+   trigger (the classic semi-naive bug: forgetting that old facts can join
+   new ones): the incremental model misses derived facts the from-scratch
+   chase has, and the update-sequence invariant sees the null-free parts
+   disagree. *)
+let test_mutant_delta_skip () =
+  let mutant =
+    {
+      Oracle.real with
+      Oracle.delta_apply =
+        (fun ~max_rounds:_ ~max_facts:_ _p inst batch ->
+          let inserted =
+            List.fold_left
+              (fun n (pred, t) -> if Tgd_db.Instance.add_fact inst pred t then n + 1 else n)
+              0 batch
+          in
+          {
+            Tgd_chase.Delta_chase.outcome = Tgd_chase.Chase.Terminated;
+            rounds = 0;
+            inserted;
+            derived = 0;
+            nulls = 0;
+            triggers_fired = 0;
+            merges = 0;
+            consistent = true;
+            violation = None;
+          });
+    }
+  in
+  expect_caught ~name:"skipped-delta-triggers" ~invariant:"update-sequence" ~cases:40 mutant
+
+(* An incremental chase that leaves one equivalence class stale, as a buggy
+   EGD replay would: after the real delta application, one constant is
+   knocked back to a fresh null everywhere it occurs. The null-free parts of
+   the two models can no longer coincide. *)
+let test_mutant_delta_stale_class () =
+  let mutant =
+    {
+      Oracle.real with
+      Oracle.delta_apply =
+        (fun ~max_rounds ~max_facts p inst batch ->
+          let stats = Oracle.real.Oracle.delta_apply ~max_rounds ~max_facts p inst batch in
+          let some_const =
+            List.find_map
+              (fun (_, t) ->
+                Array.find_opt (function Tgd_db.Value.Const _ -> true | _ -> false) t)
+              (Tgd_db.Instance.facts inst)
+          in
+          (match some_const with
+          | Some c ->
+            let stale = Tgd_db.Value.Null (Tgd_db.Instance.max_null inst + 1) in
+            ignore (Tgd_db.Instance.substitute inst ~from_:c ~to_:stale)
+          | None -> ());
+          stats);
+    }
+  in
+  expect_caught ~name:"stale-egd-class" ~invariant:"update-sequence" ~cases:10 mutant
+
 (* ------------------------------------------------------------------ *)
 (* Shrinking: a failing case reduces to a minimal reproducer that still
    fails, never grows, and lands in the corpus directory when asked.    *)
@@ -272,6 +330,10 @@ let () =
             test_mutant_metamorphic;
           Alcotest.test_case "serve catches phantom row" `Quick test_mutant_serve;
           Alcotest.test_case "truncation catches invented answer" `Quick test_mutant_truncation;
+          Alcotest.test_case "update-sequence catches skipped delta triggers" `Quick
+            test_mutant_delta_skip;
+          Alcotest.test_case "update-sequence catches a stale EGD class" `Quick
+            test_mutant_delta_stale_class;
         ] );
       ( "shrinking",
         [

@@ -319,21 +319,84 @@ let test_server_warm_cache () =
   Alcotest.(check (list (list string))) "same answers" (answers r1) (answers r2);
   Alcotest.(check (list (list string))) "ontology answers" [ [ "alice" ]; [ "bob" ] ] (answers r1)
 
-let test_server_epoch_invalidation () =
+(* A data-only mutation bumps the delta epoch but not the full epoch: the
+   prepared rewriting survives (0 rewrites on the next execute), yet the
+   answers come from the new instance — cached plans are never stale,
+   because a rewriting depends on the TGDs alone. *)
+let test_server_data_delta_keeps_cache_warm () =
   let srv = boot_server "professor,alice" in
+  let tel = Server.telemetry srv in
   let r1 = execute srv "q(X) :- person(X)." in
   Alcotest.(check (list (list string))) "initial answers" [ [ "alice" ] ] (answers r1);
   Alcotest.(check int) "entry cached" 1 (Prepared.length (Server.cache srv));
-  (* New data bumps the epoch: the prepared entry must not serve stale
-     answers, and the stale-epoch entry is purged eagerly. *)
+  let cqs_after_cold = Telemetry.get tel "rewrite.cqs" in
+  let batches_before = Telemetry.get tel "serve.delta.batches" in
+  let mut =
+    ok_fields
+      (Server.handle srv
+         (Protocol.Add_facts { name = "uni"; source = Protocol.Inline "advises,carol,dan" }))
+  in
+  (match List.assoc_opt "delta_epoch" mut with
+  | Some (Json.Int d) -> Alcotest.(check bool) "delta epoch bumped" true (d > 1)
+  | _ -> Alcotest.fail "add-facts response carries no delta_epoch");
+  Alcotest.(check int) "prepared entry survives the data delta" 1
+    (Prepared.length (Server.cache srv));
+  let r2 = execute srv "q(Y) :- person(Y)." in
+  Alcotest.(check bool) "post-delta run is a cache hit" true (bool_field "cached" r2);
+  Alcotest.(check int) "0 rewrites after add-facts" cqs_after_cold
+    (Telemetry.get tel "rewrite.cqs");
+  Alcotest.(check (list (list string))) "no stale answers" [ [ "alice" ]; [ "carol" ] ] (answers r2);
+  Alcotest.(check int) "delta batch counted" (batches_before + 1)
+    (Telemetry.get tel "serve.delta.batches")
+
+(* An ontology edit is a full-epoch bump: stale prepared entries are purged
+   eagerly and the next execute re-prepares. *)
+let test_server_ontology_edit_invalidates () =
+  let srv = boot_server "professor,alice" in
+  let r1 = execute srv "q(X) :- person(X)." in
+  Alcotest.(check bool) "cold run is a miss" false (bool_field "cached" r1);
+  let r2 = execute srv "q(W) :- person(W)." in
+  Alcotest.(check bool) "resubmission hits" true (bool_field "cached" r2);
   ignore
     (ok_fields
        (Server.handle srv
-          (Protocol.Load_csv { name = "uni"; source = Protocol.Inline "advises,carol,dan" })));
-  Alcotest.(check int) "stale entry purged" 0 (Prepared.length (Server.cache srv));
-  let r2 = execute srv "q(X) :- person(X)." in
-  Alcotest.(check bool) "post-update run is a fresh preparation" false (bool_field "cached" r2);
-  Alcotest.(check (list (list string))) "no stale answers" [ [ "alice" ]; [ "carol" ] ] (answers r2)
+          (Protocol.Register_ontology { name = "uni"; source = Protocol.Inline uni_src })));
+  Alcotest.(check int) "stale entries purged on re-register" 0
+    (Prepared.length (Server.cache srv));
+  ignore
+    (ok_fields
+       (Server.handle srv
+          (Protocol.Load_csv { name = "uni"; source = Protocol.Inline "professor,alice" })));
+  let r3 = execute srv "q(X) :- person(X)." in
+  Alcotest.(check bool) "post-edit run is a fresh preparation" false (bool_field "cached" r3);
+  Alcotest.(check (list (list string))) "answers after the edit" [ [ "alice" ] ] (answers r3)
+
+(* A materialization built by the materialize op stays alive across
+   add-facts: the response reports the incremental statistics instead of a
+   cold re-chase. *)
+let test_server_materialize_delta () =
+  let srv = boot_server "professor,alice" in
+  let m = ok_fields (Server.handle srv (Protocol.Materialize { name = "uni" })) in
+  Alcotest.(check bool) "chase completed" true (bool_field "chase_complete" m);
+  (match List.assoc_opt "model_facts" m with
+  | Some (Json.Int n) -> Alcotest.(check bool) "model holds the closure" true (n >= 2)
+  | _ -> Alcotest.fail "materialize response carries no model_facts");
+  let mut =
+    ok_fields
+      (Server.handle srv
+         (Protocol.Add_facts { name = "uni"; source = Protocol.Inline "advises,carol,dan" }))
+  in
+  Alcotest.(check bool) "delta maintained the materialization" true
+    (bool_field "materialized" mut);
+  Alcotest.(check bool) "delta apply completed" true (bool_field "delta_complete" mut);
+  (match List.assoc_opt "derived" mut with
+  | Some (Json.Int d) ->
+    (* advises(carol,dan) derives professor(carol) and person(carol). *)
+    Alcotest.(check int) "derived facts" 2 d
+  | _ -> Alcotest.fail "add-facts response carries no derived count");
+  let tel = Server.telemetry srv in
+  Alcotest.(check int) "derived counted under serve.delta.derived" 2
+    (Telemetry.get tel "serve.delta.derived")
 
 let test_server_concurrent_execute () =
   let srv = boot_server "professor,alice\nadvises,bob,carol" in
@@ -358,6 +421,56 @@ let test_server_concurrent_execute () =
     (Telemetry.get tel "serve.requests");
   Alcotest.(check int) "every lookup accounted" (4 * per_domain)
     (Telemetry.get tel "serve.cache.hits" + Telemetry.get tel "serve.cache.misses")
+
+(* No stale answers under concurrent load across BOTH bump kinds: after a
+   data delta (add-facts) or an ontology edit (re-register), every execute
+   from every domain must see exactly the current fact set — never a
+   snapshot from before the mutation quiesced. *)
+let test_server_no_stale_across_bumps () =
+  let srv = boot_server "professor,p0" in
+  let errors = Atomic.make 0 in
+  let expected = ref [ [ "p0" ] ] in
+  let verify_round round =
+    let domains =
+      Array.init 4 (fun d ->
+          Domain.spawn (fun () ->
+              for i = 1 to 5 do
+                let var = Printf.sprintf "V%d_%d_%d" round d i in
+                let q = Printf.sprintf "q(%s) :- person(%s)." var var in
+                match
+                  Server.handle srv
+                    (Protocol.Execute { ontology = "uni"; query = q; budget = None })
+                with
+                | Ok fields when answers fields = !expected -> ()
+                | _ -> ignore (Atomic.fetch_and_add errors 1)
+              done))
+    in
+    Array.iter Domain.join domains
+  in
+  verify_round 0;
+  (* Data-delta bumps. *)
+  for i = 1 to 3 do
+    ignore
+      (ok_fields
+         (Server.handle srv
+            (Protocol.Add_facts
+               { name = "uni"; source = Protocol.Inline (Printf.sprintf "professor,p%d" i) })));
+    expected := List.sort compare (List.init (i + 1) (fun j -> [ Printf.sprintf "p%d" j ]));
+    verify_round i
+  done;
+  (* A full bump mid-stream: re-register (which resets the instance) and
+     reload the accumulated facts; answers must reflect the reload, not a
+     prepared entry from the old epoch. *)
+  ignore
+    (ok_fields
+       (Server.handle srv
+          (Protocol.Register_ontology { name = "uni"; source = Protocol.Inline uni_src })));
+  let csv = String.concat "\n" (List.init 4 (fun j -> Printf.sprintf "professor,p%d" j)) in
+  ignore
+    (ok_fields
+       (Server.handle srv (Protocol.Load_csv { name = "uni"; source = Protocol.Inline csv })));
+  verify_round 4;
+  Alcotest.(check int) "no stale or corrupted responses" 0 (Atomic.get errors)
 
 let test_server_errors () =
   let srv = Server.create () in
@@ -450,8 +563,15 @@ let () =
       ]);
       ("server", [
         Alcotest.test_case "warm cache skips rewriting" `Quick test_server_warm_cache;
-        Alcotest.test_case "epoch bump invalidates prepared entries" `Quick test_server_epoch_invalidation;
+        Alcotest.test_case "data delta keeps the cache warm" `Quick
+          test_server_data_delta_keeps_cache_warm;
+        Alcotest.test_case "ontology edit invalidates prepared entries" `Quick
+          test_server_ontology_edit_invalidates;
+        Alcotest.test_case "materialization maintained across add-facts" `Quick
+          test_server_materialize_delta;
         Alcotest.test_case "concurrent executes stay consistent" `Quick test_server_concurrent_execute;
+        Alcotest.test_case "no stale answers across delta and full bumps" `Quick
+          test_server_no_stale_across_bumps;
         Alcotest.test_case "typed errors" `Quick test_server_errors;
       ]);
       ("cli", [ Alcotest.test_case "obda serve JSONL smoke" `Quick test_cli_serve_smoke ]);
