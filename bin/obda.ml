@@ -482,16 +482,33 @@ let approx_cmd =
 (* serve                                                               *)
 
 let serve_cmd =
-  let run workers queue_bound cache_capacity eval_workers eval_partitions budget deadline socket =
+  let run workers queue_bound cache_capacity eval_workers eval_partitions budget deadline socket
+      data_dir fsync checkpoint_every =
     let base_budget =
       match (budget, deadline) with
       | None, None -> None (* keep the server's own default *)
       | _ -> Some (budget_of_flags budget deadline)
     in
     let eval_partitions = resolve_eval_partitions eval_partitions in
-    let server =
-      Tgd_serve.Server.create ~cache_capacity ?base_budget ~eval_workers ?eval_partitions ()
+    let store =
+      match data_dir with
+      | None -> None
+      | Some dir -> (
+        match Tgd_store.Store.open_dir ~fsync dir with
+        | Ok store -> Some store
+        | Error msg ->
+          Format.eprintf "obda serve: cannot open data dir: %s@." msg;
+          exit 1)
     in
+    let server =
+      Tgd_serve.Server.create ~cache_capacity ?base_budget ~eval_workers ?eval_partitions ?store
+        ~checkpoint_every ()
+    in
+    (match store with
+    | Some s ->
+      Format.eprintf "obda serve: durable store at %s (fsync %s)@." (Tgd_store.Store.dir s)
+        (if fsync then "on" else "off")
+    | None -> ());
     Fun.protect ~finally:(fun () -> Tgd_serve.Server.shutdown server) @@ fun () ->
     match socket with
     | Some path ->
@@ -536,15 +553,44 @@ let serve_cmd =
             "Serve on a Unix-domain socket at PATH (connections accepted sequentially; state \
              persists across connections). Default: JSONL over stdin/stdout.")
   in
+  let data_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable store directory (created if missing). On startup the registry is recovered \
+             from the latest snapshots plus WAL replay; afterwards every acknowledged mutation \
+             is write-ahead logged, and the $(b,snapshot) op checkpoints. Default: in-memory \
+             only.")
+  in
+  let fsync =
+    Arg.(
+      value & opt bool true
+      & info [ "fsync" ] ~docv:"BOOL"
+          ~doc:
+            "Fsync each WAL append (and snapshot) before acknowledging the operation. Disable \
+             only when losing the last few acked mutations on power failure is acceptable; \
+             crash-consistency (torn-tail truncation) holds either way.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Write a fresh snapshot generation (and trim the WAL) whenever an entry's log \
+             reaches N records. Default 0: checkpoint only on explicit $(b,snapshot) requests.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the concurrent query server: register ontologies and data, then prepare/execute \
           conjunctive queries over a prepared-rewriting cache, speaking a JSONL protocol \
-          (register-ontology, load-csv, prepare, execute, stats, ping, shutdown).")
+          (register-ontology, load-csv, prepare, execute, snapshot, stats, ping, shutdown). \
+          With $(b,--data-dir) the registry is durable: write-ahead logged, snapshotted, and \
+          recovered on restart.")
     Term.(
       const run $ workers $ queue_bound $ cache_capacity $ eval_workers $ eval_partitions_arg
-      $ budget_arg $ deadline_arg $ socket)
+      $ budget_arg $ deadline_arg $ socket $ data_dir $ fsync $ checkpoint_every)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)

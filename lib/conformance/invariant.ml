@@ -478,6 +478,156 @@ let check_update_sequence (o : Oracle.t) (case : Case.t) =
        with Stop outcome -> outcome))
 
 (* ------------------------------------------------------------------ *)
+(* 8. Durability: persist -> recover -> re-query changes nothing        *)
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+(* One run drives a durable server through a seed-rotated mutation script
+   (register, up to two insert batches, optionally materialize, with the
+   explicit checkpoint placed nowhere / mid-script / at the end — so pure
+   WAL replay, snapshot+tail, and pure snapshot restore all get coverage),
+   then restarts on the same directory and demands the recovered server be
+   observationally identical: byte-identical execute answers, equal
+   epochs, equal null-free facts, and an equivalent materialization. *)
+let check_durability (o : Oracle.t) (case : Case.t) =
+  let p = case.Case.program in
+  let source =
+    Format.asprintf "%a" Tgd_parser.Printer.document
+      {
+        Tgd_parser.Parser.rules = Program.tgds p;
+        facts = case.Case.facts;
+        queries = [];
+        constraints = [];
+      }
+  in
+  let query_src = Format.asprintf "%a" Tgd_parser.Printer.query case.Case.query in
+  let batches = List.filteri (fun i _ -> i < 2) (Gen_case.update_batches case) in
+  let batch_csv batch = Tgd_db.Csv_io.save_string (Tgd_db.Instance.of_atoms batch) in
+  let scenario = case.Case.seed mod 3 in
+  let materialize = (case.Case.seed lsr 2) land 1 = 1 in
+  let base_budget =
+    {
+      Tgd_exec.Budget.unlimited with
+      Tgd_exec.Budget.chase_rounds = Some bounded_chase_rounds;
+      chase_facts = Some bounded_chase_facts;
+    }
+  in
+  let dir = Filename.temp_dir "tgd-durability" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
+  let req server r = Result.map_error snd (o.Oracle.serve_handle server r) in
+  let execute server =
+    let* fields =
+      req server
+        (Tgd_serve.Protocol.Execute { ontology = "fuzz"; query = query_src; budget = None })
+    in
+    match (field "truncated" fields, field "complete" fields) with
+    | Some _, _ -> Error "__skip_truncated"
+    | _, Some (Tgd_serve.Json.Bool false) -> Error "__skip_incomplete"
+    | _ -> (
+      match field "answers" fields with
+      | Some answers -> Ok (Tgd_serve.Json.to_string answers)
+      | None -> Error "execute response is missing answers")
+  in
+  let with_server f =
+    match Tgd_store.Store.open_dir ~fsync:false dir with
+    | Error msg -> Error ("store open failed: " ^ msg)
+    | Ok store ->
+      let server =
+        Tgd_serve.Server.create ~config:bounded_rewrite_config ~base_budget ~store ()
+      in
+      Fun.protect ~finally:(fun () -> Tgd_serve.Server.shutdown server) (fun () -> f server)
+  in
+  let snapshot server = Result.map ignore (req server (Tgd_serve.Protocol.Snapshot { name = Some "fuzz" })) in
+  let entry_of server =
+    match Tgd_serve.Registry.find (Tgd_serve.Server.registry server) "fuzz" with
+    | Some e -> Ok e
+    | None -> Error "entry missing from the registry"
+  in
+  let outcome =
+    (* Phase 1: build durable state. *)
+    let* answers1, entry1 =
+      with_server (fun server ->
+          let* _ =
+            req server
+              (Tgd_serve.Protocol.Register_ontology
+                 { name = "fuzz"; source = Tgd_serve.Protocol.Inline source })
+          in
+          let* () = if scenario = 2 then snapshot server else Ok () in
+          let* () =
+            List.fold_left
+              (fun acc batch ->
+                let* () = acc in
+                Result.map ignore
+                  (req server
+                     (Tgd_serve.Protocol.Add_facts
+                        { name = "fuzz"; source = Tgd_serve.Protocol.Inline (batch_csv batch) })))
+              (Ok ()) batches
+          in
+          let* () =
+            if materialize then
+              Result.map ignore (req server (Tgd_serve.Protocol.Materialize { name = "fuzz" }))
+            else Ok ()
+          in
+          let* () = if scenario = 1 then snapshot server else Ok () in
+          let* answers = execute server in
+          let* entry = entry_of server in
+          Ok (answers, entry))
+    in
+    (* Phase 2: recover into a fresh server and compare observables. *)
+    with_server (fun server ->
+        let* answers2 = execute server in
+        let* entry2 = entry_of server in
+        let expect what cond = if cond then Ok () else Error (what ^ " changed across recovery") in
+        let* () =
+          if String.equal answers1 answers2 then Ok ()
+          else
+            Error
+              (Printf.sprintf "answers changed across recovery: %s, then %s" answers1 answers2)
+        in
+        let* () = expect "epoch" (entry1.Tgd_serve.Registry.epoch = entry2.Tgd_serve.Registry.epoch) in
+        let* () =
+          expect "delta_epoch"
+            (entry1.Tgd_serve.Registry.delta_epoch = entry2.Tgd_serve.Registry.delta_epoch)
+        in
+        let* () =
+          expect "null-free instance facts"
+            (facts_equal
+               (null_free_facts entry1.Tgd_serve.Registry.instance)
+               (null_free_facts entry2.Tgd_serve.Registry.instance))
+        in
+        match (entry1.Tgd_serve.Registry.materialization, entry2.Tgd_serve.Registry.materialization)
+        with
+        | None, None -> Ok ()
+        | Some m1, Some m2 ->
+          let* () =
+            expect "materialization null floor"
+              (m1.Tgd_serve.Registry.floor = m2.Tgd_serve.Registry.floor)
+          in
+          let* () =
+            expect "materialization completeness"
+              (m1.Tgd_serve.Registry.complete = m2.Tgd_serve.Registry.complete)
+          in
+          expect "null-free model facts"
+            (facts_equal
+               (null_free_facts m1.Tgd_serve.Registry.model)
+               (null_free_facts m2.Tgd_serve.Registry.model))
+        | Some _, None -> Error "materialization lost across recovery"
+        | None, Some _ -> Error "materialization appeared from nowhere across recovery")
+  in
+  match outcome with
+  | Ok () -> Pass
+  | Error "__skip_truncated" -> Skip "serve run truncated by the server budget"
+  | Error "__skip_incomplete" -> Skip "serve rewriting incomplete"
+  | Error msg -> Fail msg
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -516,6 +666,12 @@ let all =
       describe =
         "incremental chase equals from-scratch chase (answers, null-free facts, hom-equivalence) after every insert batch";
       check = check_update_sequence;
+    };
+    {
+      name = "durability";
+      describe =
+        "persist (WAL and/or snapshot) then recover leaves answers, epochs, facts and materialization unchanged";
+      check = check_durability;
     };
   ]
 

@@ -5,11 +5,30 @@
    parallel evaluation memory-bandwidth-bound instead of
    minor-heap/cache-miss-bound. *)
 
+(* The value-code -> group-id map of an index: hashed and ready, or still
+   the raw (code, group) pairs of a snapshot-imported block. Hydration is
+   deferred to the first probe (a recovered server may never probe some
+   columns). Not a [Lazy.t]: morsel workers probe concurrently, and racing
+   domains here just build identical private tables — the last field write
+   wins, which is benign duplicate work instead of [Lazy.Undefined]. *)
+type groups_state =
+  | Built of (int, int) Hashtbl.t
+  | Pairs of (int * int) array
+
 type index = {
-  groups : (int, int) Hashtbl.t; (* value code -> group id *)
+  mutable groups : groups_state; (* value code -> group id *)
   starts : int array; (* group id -> offset into [rows]; length ngroups+1 *)
   rows : int array; (* row ids, grouped by the column's value code *)
 }
+
+let groups_of idx =
+  match idx.groups with
+  | Built tbl -> tbl
+  | Pairs pairs ->
+    let tbl = Hashtbl.create (max 16 (Array.length pairs)) in
+    Array.iter (fun (code, g) -> Hashtbl.replace tbl code g) pairs;
+    idx.groups <- Built tbl;
+    tbl
 
 type t = {
   arity : int;
@@ -52,7 +71,7 @@ let build_index (col : int array) =
     rows.(fill.(g)) <- i;
     fill.(g) <- fill.(g) + 1
   done;
-  { groups; starts; rows }
+  { groups = Built groups; starts; rows }
 
 exception Uncodable
 
@@ -77,7 +96,7 @@ let build ~arity (tuples : Tuple.t array) =
    segment (blitted) followed by the appended row ids. *)
 let extend_index idx (col : int array) ~old_n =
   let n = Array.length col in
-  let groups = Hashtbl.copy idx.groups in
+  let groups = Hashtbl.copy (groups_of idx) in
   let old_ngroups = Array.length idx.starts - 1 in
   let counts = ref (Array.make (old_ngroups + 16) 0) in
   let ngroups = ref old_ngroups in
@@ -121,7 +140,7 @@ let extend_index idx (col : int array) ~old_n =
     rows.(fill.(g)) <- i;
     fill.(g) <- fill.(g) + 1
   done;
-  { groups; starts; rows }
+  { groups = Built groups; starts; rows }
 
 let extend t (tuples : Tuple.t array) =
   let added = Array.length tuples in
@@ -155,11 +174,52 @@ let col t j = t.cols.(j)
 
 let probe t ~col code =
   let idx = t.indexes.(col) in
-  match Hashtbl.find_opt idx.groups code with
+  match Hashtbl.find_opt (groups_of idx) code with
   | None -> (idx.rows, 0, 0)
   | Some g -> (idx.rows, idx.starts.(g), idx.starts.(g + 1) - idx.starts.(g))
 
 let decode_row t i = Array.init t.arity (fun j -> Value.decode t.cols.(j).(i))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization hooks (durable snapshots)                             *)
+
+type parts = {
+  p_arity : int;
+  p_nrows : int;
+  p_cols : int array array;
+  p_groups : (int * int) array array;
+  p_starts : int array array;
+  p_rows : int array array;
+}
+
+let export t =
+  let pairs_of idx =
+    match idx.groups with
+    | Pairs pairs -> pairs
+    | Built tbl ->
+      let pairs = Array.make (Array.length idx.starts - 1) (0, 0) in
+      Hashtbl.iter (fun code g -> pairs.(g) <- (code, g)) tbl;
+      pairs
+  in
+  {
+    p_arity = t.arity;
+    p_nrows = t.nrows;
+    p_cols = t.cols;
+    p_groups = Array.map pairs_of t.indexes;
+    p_starts = Array.map (fun idx -> idx.starts) t.indexes;
+    p_rows = Array.map (fun idx -> idx.rows) t.indexes;
+  }
+
+let import p =
+  let index_of j =
+    { groups = Pairs p.p_groups.(j); starts = p.p_starts.(j); rows = p.p_rows.(j) }
+  in
+  {
+    arity = p.p_arity;
+    nrows = p.p_nrows;
+    cols = p.p_cols;
+    indexes = Array.init p.p_arity index_of;
+  }
 
 let iter_rows f t =
   for i = 0 to t.nrows - 1 do

@@ -41,3 +41,29 @@ val decode_row : t -> int -> Tuple.t
 
 val iter_rows : (Tuple.t -> unit) -> t -> unit
 (** Decode every row in row-id order (testing and round-trip checks). *)
+
+(** {1 Serialization hooks}
+
+    The durable store ({!Tgd_store.Snapshot}) persists blocks near-verbatim:
+    the flat columns and the CSR index arrays are written as they are, so a
+    snapshot load is a bulk read plus one symbol-remap pass — no value
+    re-coding and no index re-hashing. *)
+
+type parts = {
+  p_arity : int;
+  p_nrows : int;
+  p_cols : int array array;  (** [arity] coded columns of [nrows] entries *)
+  p_groups : (int * int) array array;
+      (** per column: (value code, group id) pairs, one per distinct code *)
+  p_starts : int array array;  (** per column: CSR group offsets *)
+  p_rows : int array array;  (** per column: row ids grouped by code *)
+}
+
+val export : t -> parts
+(** The block's arrays, shared (not copied) — treat them as read-only. *)
+
+val import : parts -> t
+(** Rebuild a block from {!export}ed (possibly code-remapped) parts without
+    re-encoding values or re-grouping rows: only the per-column code->group
+    hashtables are refilled, one entry per distinct code. The arrays are
+    adopted, not copied. *)

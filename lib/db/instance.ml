@@ -29,6 +29,15 @@ let relation_for inst pred ~arity =
 
 let add_fact inst pred t = Relation.insert (relation_for inst pred ~arity:(Array.length t)) t
 
+let install_relation inst pred rel =
+  (match Symbol.Table.find_opt inst.relations pred with
+  | Some existing when Relation.arity existing <> Relation.arity rel ->
+    invalid_arg
+      (Printf.sprintf "Instance.install_relation: predicate %s used with arities %d and %d"
+         (Symbol.name pred) (Relation.arity existing) (Relation.arity rel))
+  | Some _ | None -> ());
+  Symbol.Table.replace inst.relations pred rel
+
 let add_ground_atom inst a =
   let t = Array.map Value.of_term a.Atom.args in
   add_fact inst a.Atom.pred t

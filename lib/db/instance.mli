@@ -26,6 +26,12 @@ val add_ground_atom : t -> Atom.t -> bool
 val relation : t -> Symbol.t -> Relation.t option
 (** [None] when the predicate has no facts yet. *)
 
+val install_relation : t -> Symbol.t -> Relation.t -> unit
+(** Adopt a whole relation under a predicate (snapshot recovery:
+    {!Relation.of_columnar} blocks are installed without going through
+    per-fact inserts). Replaces any existing relation for the predicate;
+    raises [Invalid_argument] on an arity conflict. *)
+
 val predicates : t -> (Symbol.t * int) list
 (** Every predicate with its arity, sorted by name. *)
 

@@ -27,6 +27,11 @@ type t = {
   (* An uncodable value was seen: stop re-attempting the encode on every
      seal. Reset by insert (the offending tuple may be gone... it is not —
      inserts only add — but the flag is cheap to keep precise per snapshot). *)
+  mutable unboxed : Columnar.t option;
+  (* [Some block]: the relation was adopted from a snapshot block and the
+     row hashtable has not been materialized yet ([rows] is empty, [pending]
+     too, [columnar = Some block]). Pure columnar readers never pay for the
+     boxing; the first boxed-side consumer triggers it via [ensure_rows]. *)
 }
 
 let create ~arity =
@@ -39,6 +44,7 @@ let create ~arity =
     columnar = None;
     pending = [];
     columnar_failed = false;
+    unboxed = None;
   }
 
 (* Copy-on-write duplication: the hashtable and index tables are duplicated
@@ -55,11 +61,28 @@ let copy r =
     columnar = r.columnar;
     pending = r.pending;
     columnar_failed = r.columnar_failed;
+    unboxed = r.unboxed;
   }
 
 let arity r = r.arity
-let cardinality r = Tuple.Table.length r.rows
-let mem r t = Tuple.Table.mem r.rows t
+
+(* Materialize the deferred row hashtable of a snapshot-adopted relation:
+   decode each block row once. Idempotent; a no-op everywhere else. *)
+let ensure_rows r =
+  match r.unboxed with
+  | None -> ()
+  | Some block ->
+    r.unboxed <- None;
+    Columnar.iter_rows (fun t -> Tuple.Table.replace r.rows t ()) block
+
+let cardinality r =
+  match r.unboxed with
+  | Some block -> Columnar.nrows block
+  | None -> Tuple.Table.length r.rows
+
+let mem r t =
+  ensure_rows r;
+  Tuple.Table.mem r.rows t
 
 let index_insert idx t pos =
   let key = t.(pos) in
@@ -68,6 +91,7 @@ let index_insert idx t pos =
 
 let insert r t =
   if Array.length t <> r.arity then invalid_arg "Relation.insert: arity mismatch";
+  ensure_rows r;
   if Tuple.Table.mem r.rows t then false
   else begin
     Tuple.Table.add r.rows t ();
@@ -85,8 +109,13 @@ let insert r t =
     true
   end
 
-let iter f r = Tuple.Table.iter (fun t () -> f t) r.rows
-let fold f r init = Tuple.Table.fold (fun t () acc -> f t acc) r.rows init
+let iter f r =
+  ensure_rows r;
+  Tuple.Table.iter (fun t () -> f t) r.rows
+
+let fold f r init =
+  ensure_rows r;
+  Tuple.Table.fold (fun t () acc -> f t acc) r.rows init
 let to_list r = fold (fun t acc -> t :: acc) r []
 
 let build_index r pos =
@@ -173,14 +202,22 @@ let build_columnar r =
     end
 
 let seal ?partitions r =
-  build_all_indexes r;
   build_columnar r;
+  (* With a block covering every row, scans and joins run columnar and the
+     boxed per-column indexes stay lazy (built on the first fallback
+     lookup) — this is what makes adopting a snapshot block a bulk load.
+     Relations without a block are served boxed and keep eager indexes. *)
+  if r.columnar = None then build_all_indexes r;
   match partitions with
   | None -> ()
   | Some parts -> (
     match r.partition with
     | Some p when Array.length p.shards = max 1 (min parts (max 1 (cardinality r))) -> ()
-    | Some _ | None -> build_partition r ~parts)
+    | Some _ | None ->
+      (* partition_position picks the most selective column from the
+         indexes, so build them before sharding. *)
+      build_all_indexes r;
+      build_partition r ~parts)
 
 let partition r = Option.map (fun p -> (p.pos, p.shards)) r.partition
 
@@ -188,6 +225,20 @@ let columnar r =
   (* A block with a pending tail is stale: readers get [None] until the
      next seal extends it. *)
   match r.pending with [] -> r.columnar | _ :: _ -> None
+
+let sealed_parts r =
+  match r.columnar with
+  | Some _ as block -> (block, List.rev r.pending)
+  | None -> (None, to_list r)
+
+let of_columnar block =
+  let r = create ~arity:(Columnar.arity block) in
+  (* Adopt the block outright: no value re-coding, no CSR re-grouping, and
+     even the row hashtable stays deferred ([ensure_rows]) until a boxed
+     consumer — membership, insert, iteration — actually needs it. *)
+  r.columnar <- Some block;
+  r.unboxed <- Some block;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Value substitution (EGD merges)                                     *)

@@ -50,6 +50,19 @@ val columnar : t -> Columnar.t option
     rows exactly (no insert since) and every value was codable
     ({!Value.code}). *)
 
+val sealed_parts : t -> Columnar.t option * Tuple.t list
+(** The last sealed block (even when stale) and the pending tail inserted
+    since it was built, in insertion order. [(None, rows)] when the
+    relation was never sealed or holds uncodable values: the snapshot codec
+    then falls back to boxed row encoding. Together the block and the tail
+    always cover exactly the current rows. *)
+
+val of_columnar : Columnar.t -> t
+(** Rebuild a relation from a decoded snapshot block: the block is adopted
+    as the sealed columnar representation (no re-encode — the next {!seal}
+    only builds the boxed per-column indexes), and the row set is populated
+    by decoding each row once. *)
+
 val substitute : t -> from_:Value.t -> to_:Value.t -> Tuple.t list
 (** Rewrite, in place, every row containing [from_] (located through the
     per-column indexes) by replacing [from_] with [to_]. Returns the

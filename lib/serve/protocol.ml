@@ -16,6 +16,7 @@ type request =
       source : source;
     }
   | Materialize of { name : string }
+  | Snapshot of { name : string option }
   | Prepare of {
       ontology : string;
       query : string;
@@ -68,6 +69,7 @@ let request_of j =
   | "materialize" ->
     let* name = required "name" j in
     Ok (Materialize { name })
+  | "snapshot" -> Ok (Snapshot { name = Json.string_field "name" j })
   | "prepare" ->
     let* ontology = required "ontology" j in
     let* query = required "query" j in

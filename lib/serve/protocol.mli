@@ -12,6 +12,7 @@
       {"op":"load-csv","id":2,"name":"uni","file":"data/uni.csv"}
       {"op":"add-facts","id":7,"name":"uni","source":"person,carol"}
       {"op":"materialize","id":8,"name":"uni"}
+      {"op":"snapshot","id":9,"name":"uni"}
       {"op":"prepare","id":3,"ontology":"uni","query":"q(X) :- person(X)."}
       {"op":"execute","id":4,"ontology":"uni","query":"q(X) :- person(X).","budget":"deadline=0.5"}
       {"op":"stats","id":5}
@@ -41,6 +42,10 @@ type request =
     }  (** CSV payload; a data-only mutation — delta epoch bump *)
   | Materialize of { name : string }
       (** build the chase materialization kept alive across [add-facts] *)
+  | Snapshot of { name : string option }
+      (** checkpoint one entry (or every entry when [name] is absent) into
+          the durable store and trim its WAL; rejected with [bad_request]
+          when the server runs without [--data-dir] *)
   | Prepare of {
       ontology : string;
       query : string;

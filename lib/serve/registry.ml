@@ -89,6 +89,25 @@ let register t ~name ?facts program =
   in
   install t name program instance
 
+let restore t ~name ~epoch ~delta_epoch ?materialization program instance =
+  Tgd_db.Instance.seal ?partitions:t.partitions instance;
+  (match materialization with
+  | Some m -> Tgd_db.Instance.seal ?partitions:t.partitions m.model
+  | None -> ());
+  locked t (fun () ->
+      (* Epoch counters resume at least where the snapshot left them, so a
+         post-recovery register/mutation continues the pre-crash sequence
+         instead of restarting it (cache keys must stay unresurrectable). *)
+      let catch_up tbl v =
+        if v > Option.value ~default:0 (Hashtbl.find_opt tbl name) then
+          Hashtbl.replace tbl name v
+      in
+      catch_up t.last_epoch epoch;
+      catch_up t.last_delta delta_epoch;
+      let entry = { name; epoch; delta_epoch; program; instance; materialization } in
+      Hashtbl.replace t.entries name entry;
+      entry)
+
 let find t name = locked t (fun () -> Hashtbl.find_opt t.entries name)
 
 let add_facts ?gov t ~name facts =
@@ -170,6 +189,11 @@ let list t =
   locked t (fun () ->
       Hashtbl.fold
         (fun name e acc ->
-          (name, e.epoch, Program.size e.program, Tgd_db.Instance.cardinality e.instance) :: acc)
+          ( name,
+            e.epoch,
+            e.delta_epoch,
+            Program.size e.program,
+            Tgd_db.Instance.cardinality e.instance )
+          :: acc)
         t.entries [])
   |> List.sort compare

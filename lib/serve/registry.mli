@@ -59,6 +59,21 @@ val register : t -> name:string -> ?facts:Tgd_db.Instance.t -> Program.t -> entr
     optional initial facts are copied, sealed and owned by the entry; any
     previous materialization is dropped (it belonged to the old program). *)
 
+val restore :
+  t ->
+  name:string ->
+  epoch:int ->
+  delta_epoch:int ->
+  ?materialization:materialization ->
+  Program.t ->
+  Tgd_db.Instance.t ->
+  entry
+(** Durable-store recovery: install an entry {e at} the given epochs
+    (snapshot values) instead of bumping, adopting the instance (it is
+    sealed here, not copied). The per-name epoch counters catch up to at
+    least these values, so later mutations continue the pre-crash
+    sequences monotonically. *)
+
 val add_facts :
   ?gov:Tgd_exec.Governor.t ->
   t ->
@@ -85,5 +100,6 @@ val load_csv_file :
 val find : t -> string -> entry option
 (** Snapshot of the current entry; stable even while mutations proceed. *)
 
-val list : t -> (string * int * int * int) list
-(** [(name, epoch, rules, facts)] per registered ontology, sorted. *)
+val list : t -> (string * int * int * int * int) list
+(** [(name, epoch, delta_epoch, rules, facts)] per registered ontology,
+    sorted. *)

@@ -9,6 +9,8 @@ type t = {
   eval_workers : int;
   eval_partitions : int option;
   eval_pool : Tgd_exec.Pool.t option;
+  store : Tgd_store.Store.t option;
+  checkpoint_every : int;  (* 0 = checkpoint only on explicit snapshot ops *)
 }
 
 let default_budget =
@@ -18,12 +20,16 @@ let default_budget =
     rewrite_cqs = Some 200_000;
   }
 
-let create ?(cache_capacity = 1024) ?(base_budget = default_budget)
-    ?(config = Tgd_rewrite.Rewrite.default_config) ?(eval_workers = 1) ?eval_partitions () =
+(* The state constructor; the public [create] additionally runs durable-
+   store recovery (defined below the request handlers it reuses). *)
+let make ?(cache_capacity = 1024) ?(base_budget = default_budget)
+    ?(config = Tgd_rewrite.Rewrite.default_config) ?(eval_workers = 1) ?eval_partitions ?store
+    ?(checkpoint_every = 0) () =
   if eval_workers <= 0 then invalid_arg "Server.create: eval_workers must be positive";
   (match eval_partitions with
   | Some p when p < 1 -> invalid_arg "Server.create: eval_partitions must be positive"
   | Some _ | None -> ());
+  if checkpoint_every < 0 then invalid_arg "Server.create: checkpoint_every must be >= 0";
   let telemetry = Tgd_exec.Telemetry.create () in
   {
     registry =
@@ -41,9 +47,13 @@ let create ?(cache_capacity = 1024) ?(base_budget = default_budget)
     eval_partitions;
     eval_pool =
       (if eval_workers > 1 then Some (Tgd_exec.Pool.create ~workers:eval_workers ()) else None);
+    store;
+    checkpoint_every;
   }
 
-let shutdown t = Option.iter Tgd_exec.Pool.shutdown t.eval_pool
+let shutdown t =
+  Option.iter Tgd_exec.Pool.shutdown t.eval_pool;
+  Option.iter Tgd_store.Store.close t.store
 
 let telemetry t = t.telemetry
 let registry t = t.registry
@@ -240,25 +250,74 @@ let mutation_governor t =
   let request_tele = Tgd_exec.Telemetry.create () in
   (Tgd_exec.Governor.create ~budget ~telemetry:request_tele (), request_tele)
 
+(* ------------------------------------------------------------------ *)
+(* Durable store plumbing                                              *)
+
+let snapshot_of_entry (entry : Registry.entry) =
+  {
+    Tgd_store.Snapshot.epoch = entry.Registry.epoch;
+    delta_epoch = entry.Registry.delta_epoch;
+    program_src = Tgd_parser.Printer.program_to_string entry.Registry.program;
+    instance = entry.Registry.instance;
+    materialization =
+      Option.map
+        (fun (m : Registry.materialization) ->
+          {
+            Tgd_store.Snapshot.model = m.Registry.model;
+            floor = m.Registry.floor;
+            complete = m.Registry.complete;
+          })
+        entry.Registry.materialization;
+  }
+
+let checkpoint_entry t store (entry : Registry.entry) =
+  let status =
+    Tgd_store.Store.checkpoint store ~name:entry.Registry.name (snapshot_of_entry entry)
+  in
+  ignore (Tgd_exec.Telemetry.add t.telemetry "serve.store.snapshots" 1);
+  status
+
+(* Redo-only logging: a record is appended only after the in-memory apply
+   succeeded, and (with fsync) reaches stable storage before the op is
+   acknowledged — an acked mutation survives a crash, a failed one leaves
+   no trace to replay. *)
+let log_record t ~name record =
+  match t.store with
+  | None -> ()
+  | Some store -> (
+    let bytes = Tgd_store.Store.log store ~name record in
+    ignore (Tgd_exec.Telemetry.add t.telemetry "serve.store.wal_records" 1);
+    ignore (Tgd_exec.Telemetry.add t.telemetry "serve.store.wal_bytes" bytes);
+    if Tgd_store.Store.fsync_enabled store then
+      ignore (Tgd_exec.Telemetry.add t.telemetry "serve.store.fsyncs" 1);
+    if t.checkpoint_every > 0 then
+      match Tgd_store.Store.status store ~name with
+      | Some s when s.Tgd_store.Store.wal_records >= t.checkpoint_every -> (
+        match Registry.find t.registry name with
+        | Some entry -> ignore (checkpoint_entry t store entry)
+        | None -> ())
+      | Some _ | None -> ())
+
 (* load-csv and add-facts share this path: both append facts copy-on-write
    under a delta epoch bump — the prepared cache stays warm (the full
    epoch, its key component, does not move). *)
-let handle_data_mutation t ~name ~source =
+let handle_data_mutation t ~name ~source ~record =
   let t0 = Unix.gettimeofday () in
-  let gov, request_tele = mutation_governor t in
-  let loaded =
-    match source with
-    | Protocol.Inline src -> Registry.load_csv_string ~gov t.registry ~name src
-    | Protocol.File path -> Registry.load_csv_file ~gov t.registry ~name path
-  in
-  match loaded with
-  | Error msg ->
-    if Registry.find t.registry name = None then Error ("unknown_ontology", msg)
-    else Error ("bad_request", msg)
-  | Ok m ->
-    Tgd_exec.Telemetry.merge_into ~into:t.telemetry request_tele;
-    Tgd_exec.Telemetry.add_span t.telemetry "serve.delta.apply" (Unix.gettimeofday () -. t0);
-    Ok (delta_fields t m)
+  (* Resolve a file source up front so the WAL record is self-contained:
+     replay must not depend on the path still existing. *)
+  match read_source source with
+  | Error msg -> Error ("bad_request", msg)
+  | Ok csv -> (
+    let gov, request_tele = mutation_governor t in
+    match Registry.load_csv_string ~gov t.registry ~name csv with
+    | Error msg ->
+      if Registry.find t.registry name = None then Error ("unknown_ontology", msg)
+      else Error ("bad_request", msg)
+    | Ok m ->
+      Tgd_exec.Telemetry.merge_into ~into:t.telemetry request_tele;
+      Tgd_exec.Telemetry.add_span t.telemetry "serve.delta.apply" (Unix.gettimeofday () -. t0);
+      log_record t ~name (record csv);
+      Ok (delta_fields t m))
 
 let handle t (request : Protocol.request) =
   match request with
@@ -271,9 +330,12 @@ let handle t (request : Protocol.request) =
       | Ok (program, facts) ->
         let entry = Registry.register t.registry ~name ~facts program in
         let purged = Prepared.purge t.cache ~ontology:name ~keep_epoch:entry.Registry.epoch in
+        log_record t ~name (Tgd_store.Wal.Register { source = src });
         Ok (registered_fields entry @ [ ("purged", Json.Int purged) ])))
-  | Protocol.Load_csv { name; source } -> handle_data_mutation t ~name ~source
-  | Protocol.Add_facts { name; source } -> handle_data_mutation t ~name ~source
+  | Protocol.Load_csv { name; source } ->
+    handle_data_mutation t ~name ~source ~record:(fun csv -> Tgd_store.Wal.Load_csv { csv })
+  | Protocol.Add_facts { name; source } ->
+    handle_data_mutation t ~name ~source ~record:(fun csv -> Tgd_store.Wal.Add_facts { csv })
   | Protocol.Materialize { name } -> (
     let t0 = Unix.gettimeofday () in
     let gov, request_tele = mutation_governor t in
@@ -282,6 +344,7 @@ let handle t (request : Protocol.request) =
     | Ok (entry, stats) ->
       Tgd_exec.Telemetry.merge_into ~into:t.telemetry request_tele;
       Tgd_exec.Telemetry.add_span t.telemetry "serve.materialize" (Unix.gettimeofday () -. t0);
+      log_record t ~name Tgd_store.Wal.Materialize;
       let model_facts =
         match entry.Registry.materialization with
         | Some m -> Tgd_db.Instance.cardinality m.Registry.model
@@ -294,6 +357,36 @@ let handle t (request : Protocol.request) =
             ( "chase_complete",
               Json.Bool (stats.Tgd_chase.Chase.outcome = Tgd_chase.Chase.Terminated) );
           ]))
+  | Protocol.Snapshot { name } -> (
+    match t.store with
+    | None ->
+      Error ("bad_request", "no durable store attached (start the server with --data-dir)")
+    | Some store ->
+      let checkpoint_one name =
+        match Registry.find t.registry name with
+        | None -> Error ("unknown_ontology", Printf.sprintf "unknown ontology %S" name)
+        | Some entry ->
+          let status = checkpoint_entry t store entry in
+          Ok
+            (Json.Obj
+               [
+                 ("name", Json.String name);
+                 ("generation", Json.Int status.Tgd_store.Store.generation);
+               ])
+      in
+      let names =
+        match name with
+        | Some n -> [ n ]
+        | None -> List.map (fun (n, _, _, _, _) -> n) (Registry.list t.registry)
+      in
+      let rec go acc = function
+        | [] -> Ok [ ("snapshots", Json.List (List.rev acc)) ]
+        | n :: rest -> (
+          match checkpoint_one n with
+          | Ok j -> go (j :: acc) rest
+          | Error e -> Error e)
+      in
+      go [] names)
   | Protocol.Prepare { ontology; query } ->
     handle_query t ~ontology ~query ~budget:None ~eval:false
   | Protocol.Execute { ontology; query; budget } ->
@@ -308,14 +401,34 @@ let handle t (request : Protocol.request) =
     let ontologies =
       Json.List
         (List.map
-           (fun (name, epoch, rules, facts) ->
-             Json.Obj
+           (fun (name, epoch, delta_epoch, rules, facts) ->
+             let base =
                [
                  ("name", Json.String name);
                  ("epoch", Json.Int epoch);
+                 ("delta_epoch", Json.Int delta_epoch);
                  ("rules", Json.Int rules);
                  ("facts", Json.Int facts);
-               ])
+               ]
+             in
+             let store_fields =
+               match t.store with
+               | None -> []
+               | Some store -> (
+                 match Tgd_store.Store.status store ~name with
+                 | None -> []
+                 | Some s ->
+                   [
+                     ( "store",
+                       Json.Obj
+                         [
+                           ("generation", Json.Int s.Tgd_store.Store.generation);
+                           ("wal_records", Json.Int s.Tgd_store.Store.wal_records);
+                           ("wal_bytes", Json.Int s.Tgd_store.Store.wal_bytes);
+                         ] );
+                   ])
+             in
+             Json.Obj (base @ store_fields))
            (Registry.list t.registry))
     in
     Ok
@@ -329,9 +442,95 @@ let handle t (request : Protocol.request) =
               ("size", Json.Int (Prepared.length t.cache));
               ("capacity", Json.Int (Prepared.capacity t.cache));
             ] );
+        ( "store",
+          match t.store with
+          | None -> Json.Null
+          | Some store ->
+            Json.Obj
+              [
+                ("data_dir", Json.String (Tgd_store.Store.dir store));
+                ("fsync", Json.Bool (Tgd_store.Store.fsync_enabled store));
+              ] );
       ]
   | Protocol.Ping -> Ok [ ("pong", Json.Bool true) ]
   | Protocol.Shutdown -> Ok []
+
+(* ------------------------------------------------------------------ *)
+(* Construction + recovery                                             *)
+
+(* Replay one WAL record through the ordinary registry paths (no logging:
+   the record is already durable). Epoch counters advance exactly as they
+   did pre-crash — the snapshot restored them and replay repeats the same
+   mutation sequence — so recovered entries end on their original epochs. *)
+let replay_record t ~name record =
+  let gov, request_tele = mutation_governor t in
+  let result =
+    match record with
+    | Tgd_store.Wal.Register { source } -> (
+      match parse_ontology ~name source with
+      | Error msg -> Error msg
+      | Ok (program, facts) ->
+        ignore (Registry.register t.registry ~name ~facts program);
+        Ok ())
+    | Tgd_store.Wal.Load_csv { csv } | Tgd_store.Wal.Add_facts { csv } ->
+      Result.map ignore (Registry.load_csv_string ~gov t.registry ~name csv)
+    | Tgd_store.Wal.Materialize ->
+      Result.map ignore (Registry.materialize ~gov t.registry ~name)
+  in
+  Tgd_exec.Telemetry.merge_into ~into:t.telemetry request_tele;
+  match result with
+  | Ok () -> ignore (Tgd_exec.Telemetry.add t.telemetry "serve.store.replayed_records" 1)
+  | Error msg ->
+    ignore (Tgd_exec.Telemetry.add t.telemetry "serve.store.replay_errors" 1);
+    Printf.eprintf "obda serve: WAL replay of %s for %S failed: %s\n%!"
+      (Tgd_store.Wal.record_tag record) name msg
+
+let recover_store t store =
+  List.iter
+    (fun (r : Tgd_store.Store.recovered) ->
+      let name = r.Tgd_store.Store.name in
+      (match r.Tgd_store.Store.snapshot with
+      | None -> ()
+      | Some snap -> (
+        match parse_ontology ~name snap.Tgd_store.Snapshot.program_src with
+        | Error msg ->
+          ignore (Tgd_exec.Telemetry.add t.telemetry "serve.store.recovery_errors" 1);
+          Printf.eprintf "obda serve: snapshot of %S unparseable, replaying WAL only: %s\n%!"
+            name msg
+        | Ok (program, _no_facts) ->
+          (* The snapshot instance carries the data; its program text holds
+             rules only, so the parse yields no facts to merge. *)
+          let materialization =
+            Option.map
+              (fun (m : Tgd_store.Snapshot.materialization) ->
+                {
+                  Registry.model = m.Tgd_store.Snapshot.model;
+                  floor = m.Tgd_store.Snapshot.floor;
+                  complete = m.Tgd_store.Snapshot.complete;
+                })
+              snap.Tgd_store.Snapshot.materialization
+          in
+          ignore
+            (Registry.restore t.registry ~name ~epoch:snap.Tgd_store.Snapshot.epoch
+               ~delta_epoch:snap.Tgd_store.Snapshot.delta_epoch ?materialization program
+               snap.Tgd_store.Snapshot.instance)));
+      List.iter (replay_record t ~name) r.Tgd_store.Store.tail;
+      if r.Tgd_store.Store.torn_bytes > 0 then
+        ignore
+          (Tgd_exec.Telemetry.add t.telemetry "serve.store.torn_bytes"
+             r.Tgd_store.Store.torn_bytes);
+      if Registry.find t.registry name <> None then
+        ignore (Tgd_exec.Telemetry.add t.telemetry "serve.store.recovered_entries" 1))
+    (Tgd_store.Store.recover store)
+
+let create ?cache_capacity ?base_budget ?config ?eval_workers ?eval_partitions ?store
+    ?checkpoint_every () =
+  let t =
+    make ?cache_capacity ?base_budget ?config ?eval_workers ?eval_partitions ?store
+      ?checkpoint_every ()
+  in
+  Option.iter (recover_store t) t.store;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* The serving loop                                                    *)
@@ -382,7 +581,7 @@ let run ?workers ?(queue_bound = 64) t ic oc =
               outcome := `Shutdown;
               stop := true
             | Protocol.Register_ontology _ | Protocol.Load_csv _ | Protocol.Add_facts _
-            | Protocol.Materialize _ | Protocol.Stats ->
+            | Protocol.Materialize _ | Protocol.Snapshot _ | Protocol.Stats ->
               (* Registry mutations fence on in-flight queries — an epoch bump
                  must not race requests admitted before it — and stats waits
                  too, so its counters reflect every previously admitted

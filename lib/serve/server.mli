@@ -27,6 +27,8 @@ val create :
   ?config:Tgd_rewrite.Rewrite.config ->
   ?eval_workers:int ->
   ?eval_partitions:int ->
+  ?store:Tgd_store.Store.t ->
+  ?checkpoint_every:int ->
   unit ->
   t
 (** A fresh server state. [base_budget] (default: 8s deadline, 200k
@@ -34,6 +36,19 @@ val create :
     [budget] spec, which is parsed on top of the base. [config] is the
     rewriting configuration; its [domains] field is forced to 1 — worker
     domains must not spawn nested pools.
+
+    With [store], the server is durable: creation first {e recovers} the
+    registry from the store — per entry, the latest valid snapshot is
+    restored at its exact epochs and the WAL tail is replayed through the
+    ordinary mutation paths (incrementally, via the delta chase, when a
+    materialization was snapshotted) — and afterwards every acknowledged
+    register/load-csv/add-facts/materialize is appended to that entry's
+    WAL {e before} its response is produced. [checkpoint_every] > 0
+    additionally writes a fresh snapshot generation (and trims the log)
+    whenever an entry's WAL reaches that many records; the default [0]
+    checkpoints only on explicit [snapshot] requests. Recovery statistics
+    land in telemetry under [serve.store.*]. {!shutdown} closes the
+    store. Raises [Invalid_argument] when [checkpoint_every < 0].
 
     Per-request UCQ evaluation always runs on {!Tgd_db.Par_eval}'s
     compiled columnar engine (registry instances are sealed on install).
@@ -49,8 +64,8 @@ val create :
     [eval_partitions < 1]. *)
 
 val shutdown : t -> unit
-(** Join the parallel-evaluation pool, if any. Idempotent; a sequential
-    server ([eval_workers = 1]) has nothing to shut down. *)
+(** Join the parallel-evaluation pool and close the durable store, if
+    any. A sequential in-memory server has nothing to shut down. *)
 
 val telemetry : t -> Tgd_exec.Telemetry.t
 (** The server-wide aggregate sink. *)

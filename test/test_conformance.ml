@@ -29,7 +29,7 @@ let test_fixed_seed_sweep () =
   let summary = Harness.run ~seed ~cases () in
   if summary.Harness.failed > 0 then Alcotest.fail (Harness.summary_to_string summary);
   Alcotest.(check int) "every case swept" cases summary.Harness.cases;
-  Alcotest.(check int) "seven checks per case" (cases * 7) summary.Harness.checks
+  Alcotest.(check int) "eight checks per case" (cases * 8) summary.Harness.checks
 
 (* ------------------------------------------------------------------ *)
 (* Determinism                                                          *)
