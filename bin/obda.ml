@@ -481,15 +481,100 @@ let approx_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
+(* Worker domains all allocate on the request path (parse, rewrite-cache
+   probe, evaluation, response serialization), and in OCaml 5 every minor
+   collection is a stop-the-world barrier across domains — with the 256k-word
+   default minor heap, a 4-worker server spends more time synchronizing GCs
+   than serving (the BENCH_serve 4-domain collapse). Scale the minor heap
+   with the worker count unless the operator pinned one via OCAMLRUNPARAM. *)
+let tune_minor_heap ~workers =
+  let pinned =
+    match Sys.getenv_opt "OCAMLRUNPARAM" with
+    | None -> false
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.exists (fun kv -> String.length kv >= 2 && kv.[0] = 's' && kv.[1] = '=')
+  in
+  if not pinned then
+    Gc.set
+      {
+        (Gc.get ()) with
+        Gc.minor_heap_size = min (16 * 1024 * 1024) (1024 * 1024 * max 1 workers);
+      }
+
+let parse_listen_addr spec =
+  match String.index_opt spec ':' with
+  | None -> (
+    match int_of_string_opt spec with
+    | Some port when port >= 0 -> Ok (Tgd_serve.Net.Tcp ("127.0.0.1", port))
+    | Some _ | None ->
+      Error (Printf.sprintf "bad --listen %S (expected unix:PATH, tcp:HOST:PORT, or PORT)" spec))
+  | Some i -> (
+    let scheme = String.sub spec 0 i in
+    let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match scheme with
+    | "unix" -> Ok (Tgd_serve.Net.Unix_path rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "bad --listen %S (tcp needs HOST:PORT)" spec)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
+        | Some port when port >= 0 -> Ok (Tgd_serve.Net.Tcp (host, port))
+        | Some _ | None -> Error (Printf.sprintf "bad --listen %S (bad port)" spec)))
+    | _ -> Error (Printf.sprintf "bad --listen %S (unknown scheme %S)" spec scheme))
+
+let parse_quota spec =
+  let num s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> Ok f
+    | Some _ | None -> Error (Printf.sprintf "bad --quota %S (numbers must be positive)" spec)
+  in
+  match String.index_opt spec ':' with
+  | None -> Result.map (fun rate -> (rate, None)) (num spec)
+  | Some i -> (
+    match num (String.sub spec 0 i) with
+    | Error e -> Error e
+    | Ok rate ->
+      Result.map
+        (fun burst -> (rate, Some burst))
+        (num (String.sub spec (i + 1) (String.length spec - i - 1))))
+
 let serve_cmd =
   let run workers queue_bound cache_capacity eval_workers eval_partitions budget deadline socket
-      data_dir fsync checkpoint_every =
+      listen max_clients max_inflight quota data_dir fsync checkpoint_every =
     let base_budget =
       match (budget, deadline) with
       | None, None -> None (* keep the server's own default *)
       | _ -> Some (budget_of_flags budget deadline)
     in
     let eval_partitions = resolve_eval_partitions eval_partitions in
+    let listen_addrs =
+      List.map
+        (fun spec ->
+          match parse_listen_addr spec with
+          | Ok addr -> addr
+          | Error msg ->
+            Format.eprintf "obda serve: %s@." msg;
+            exit 1)
+        listen
+    in
+    let rate, burst =
+      match quota with
+      | None -> (None, None)
+      | Some spec -> (
+        match parse_quota spec with
+        | Ok (rate, burst) -> (Some rate, burst)
+        | Error msg ->
+          Format.eprintf "obda serve: %s@." msg;
+          exit 1)
+    in
+    let resolved_workers =
+      match workers with
+      | Some w -> w
+      | None -> Tgd_exec.Pool.default_workers ()
+    in
+    tune_minor_heap ~workers:resolved_workers;
     let store =
       match data_dir with
       | None -> None
@@ -510,11 +595,20 @@ let serve_cmd =
         (if fsync then "on" else "off")
     | None -> ());
     Fun.protect ~finally:(fun () -> Tgd_serve.Server.shutdown server) @@ fun () ->
-    match socket with
-    | Some path ->
+    match (listen_addrs, socket) with
+    | _ :: _, _ ->
+      let listeners = List.map Tgd_serve.Net.listen listen_addrs in
+      List.iter
+        (fun l ->
+          Format.eprintf "obda serve: listening on %s@."
+            (Tgd_serve.Net.addr_to_string (Tgd_serve.Net.listener_addr l)))
+        listeners;
+      Tgd_serve.Net.serve ?workers ~queue_bound ~max_clients ?max_inflight ?rate ?burst server
+        ~listeners
+    | [], Some path ->
       Format.eprintf "obda serve: listening on unix socket %s@." path;
       Tgd_serve.Server.run_unix_socket ?workers ~queue_bound server ~path
-    | None -> ignore (Tgd_serve.Server.run ?workers ~queue_bound server stdin stdout)
+    | [], None -> ignore (Tgd_serve.Server.run ?workers ~queue_bound server stdin stdout)
   in
   let workers =
     Arg.(
@@ -553,6 +647,45 @@ let serve_cmd =
             "Serve on a Unix-domain socket at PATH (connections accepted sequentially; state \
              persists across connections). Default: JSONL over stdin/stdout.")
   in
+  let listen =
+    Arg.(
+      value & opt_all string []
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve many clients concurrently on ADDR — $(b,unix:PATH), $(b,tcp:HOST:PORT), or a \
+             bare PORT (binds 127.0.0.1; port 0 picks one). Repeatable; all listeners share one \
+             server. A single event loop multiplexes connections while requests interleave \
+             through the worker pool; per-connection response order is preserved. Overrides \
+             $(b,--socket).")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "With $(b,--listen): maximum concurrent connections. A client accepted beyond the \
+             limit receives one $(b,overloaded) response line and is closed.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "With $(b,--listen): server-wide cap on admitted-but-unanswered requests; beyond it \
+             requests are shed with $(b,overloaded). Default: $(b,--workers) + \
+             $(b,--queue-bound).")
+  in
+  let quota =
+    Arg.(
+      value & opt (some string) None
+      & info [ "quota" ] ~docv:"RATE[:BURST]"
+          ~doc:
+            "With $(b,--listen): per-tenant token-bucket quota — RATE requests/second refill, \
+             BURST bucket size (default: RATE, min 1). A request whose tenant's bucket is empty \
+             is shed with a typed $(b,quota_exceeded) response naming the retry delay. Tenants \
+             are the envelope's $(b,tenant) field (default tenant otherwise). Default: no \
+             quota.")
+  in
   let data_dir =
     Arg.(
       value & opt (some string) None
@@ -590,7 +723,8 @@ let serve_cmd =
           recovered on restart.")
     Term.(
       const run $ workers $ queue_bound $ cache_capacity $ eval_workers $ eval_partitions_arg
-      $ budget_arg $ deadline_arg $ socket $ data_dir $ fsync $ checkpoint_every)
+      $ budget_arg $ deadline_arg $ socket $ listen $ max_clients $ max_inflight $ quota
+      $ data_dir $ fsync $ checkpoint_every)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)

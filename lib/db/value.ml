@@ -29,6 +29,10 @@ let pp ppf = function
   | Const c -> Symbol.pp ppf c
   | Null n -> Format.fprintf ppf "_n%d" n
 
+let to_string = function
+  | Const c -> Symbol.name c
+  | Null n -> "_n" ^ string_of_int n
+
 (* ------------------------------------------------------------------ *)
 (* Order-preserving integer code (columnar storage)                    *)
 

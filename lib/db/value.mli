@@ -14,6 +14,11 @@ val compare : t -> t -> int
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 
+val to_string : t -> string
+(** The same spelling {!pp} prints ([Const c] as its name, [Null n] as
+    ["_n<n>"]) without the [Format] machinery — the serving layer calls
+    this once per answer cell, where formatter allocation is measurable. *)
+
 val null_base : int
 (** First null code: constants code below it, nulls at or above it. *)
 

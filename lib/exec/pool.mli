@@ -27,10 +27,18 @@ val create : ?workers:int -> ?queue_bound:int -> unit -> t
 (** Spawn a pool of [workers] domains (default {!default_workers}) that
     live until {!shutdown}. With [queue_bound] set, {!submit} sheds with
     [`Overloaded] once that many jobs are queued; without it the queue is
-    unbounded. Raises [Invalid_argument] on a non-positive argument. *)
+    unbounded. Raises [Invalid_argument] on a non-positive argument.
+
+    [workers] is clamped to [Domain.recommended_domain_count ()]: worker
+    domains beyond the core count add no capacity (the queue is
+    work-conserving) but multiply stop-the-world minor-GC barrier cost —
+    oversubscribing 4 domains onto one core collapsed serve throughput to
+    ~20%. Set [TGDLIB_OVERSUBSCRIBE=1] to disable the clamp for
+    experiments. *)
 
 val size : t -> int
-(** The number of worker domains the pool was created with. *)
+(** The number of worker domains actually spawned (after the core-count
+    clamp) — the value to size morsel batches and partitions with. *)
 
 val submit : t -> (unit -> unit) -> (int, reject) result
 (** Enqueue a job for exactly-once execution on some worker; [Ok depth]

@@ -1,18 +1,71 @@
 type t = int
 
-(* Interning is global to the process and, since the serving layer runs
-   parsing and rewriting on worker domains, guarded by a mutex. [name] reads
-   stay lock-free: entries are written into the array before the arrays/
-   count are published, and a symbol value can only reach another domain
-   through a synchronizing handoff (queue, channel), which orders the
-   publication before the read. *)
+(* Interning is global to the process and, since the serving layer parses and
+   rewrites on worker domains concurrently, must be thread-safe. The lookup
+   path is lock-free: spellings live in an open-addressing table whose slots
+   are individual [Atomic.t] cells, and the table itself is published through
+   an [Atomic.t], so a warm intern (the overwhelmingly common case on the
+   serving path — every request re-interns the same predicate and variable
+   spellings) never touches the mutex. Only a genuine miss takes the lock,
+   re-probes the current table, and inserts; resize republishes a fresh
+   table. A reader that raced against a resize sees the old table — which
+   still answers every symbol interned before the resize correctly — and a
+   stale miss simply falls through to the locked path, which probes the
+   current table again.
+
+   [name] reads stay lock-free too: entries are written into [names] before
+   the slot is published with a release [Atomic.set], and a symbol value
+   reaches another domain either through that slot (acquire read orders the
+   array write before it) or through a synchronizing handoff (queue,
+   channel), which orders the publication the same way. *)
+
+type slot =
+  | Empty
+  | Used of string * int
+
+type table = {
+  mask : int;  (* capacity - 1; capacity is a power of two *)
+  slots : slot Atomic.t array;
+}
+
+let make_table capacity = { mask = capacity - 1; slots = Array.init capacity (fun _ -> Atomic.make Empty) }
+
 let lock = Mutex.create ()
-let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+let current : table Atomic.t = Atomic.make (make_table 2048)
 let names = ref (Array.make 1024 "")
 let count = ref 0
 
+(* FNV-1a over the spelling: cheap, and good enough spread for linear
+   probing at <= 50% load. *)
+let hash_string s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land max_int) s;
+  !h
+
+(* Probe [tbl] for [s]: [Some i] on a hit, [None] on a miss. Lock-free. *)
+let probe tbl s =
+  let h = hash_string s in
+  let rec go i =
+    match Atomic.get tbl.slots.(i land tbl.mask) with
+    | Empty -> None
+    | Used (k, v) -> if String.equal k s then Some v else go (i + 1)
+  in
+  go h
+
+(* Insert under the lock: the caller holds [lock] and has re-probed. *)
+let insert_slot tbl s v =
+  let h = hash_string s in
+  let rec go i =
+    let cell = tbl.slots.(i land tbl.mask) in
+    match Atomic.get cell with
+    | Empty -> Atomic.set cell (Used (s, v))
+    | Used _ -> go (i + 1)
+  in
+  go h
+
 let intern_unlocked s =
-  match Hashtbl.find_opt table s with
+  let tbl = Atomic.get current in
+  match probe tbl s with
   | Some i -> i
   | None ->
     let i = !count in
@@ -23,14 +76,32 @@ let intern_unlocked s =
     end;
     !names.(i) <- s;
     incr count;
-    Hashtbl.add table s i;
+    (* Keep load factor <= 1/2 so probe chains stay short. *)
+    let tbl =
+      if 2 * (i + 1) > tbl.mask + 1 then begin
+        let bigger = make_table (2 * (tbl.mask + 1)) in
+        Array.iter
+          (fun cell ->
+            match Atomic.get cell with
+            | Empty -> ()
+            | Used (k, v) -> insert_slot bigger k v)
+          tbl.slots;
+        Atomic.set current bigger;
+        bigger
+      end
+      else tbl
+    in
+    insert_slot tbl s i;
     i
 
 let intern s =
-  Mutex.lock lock;
-  let i = intern_unlocked s in
-  Mutex.unlock lock;
-  i
+  match probe (Atomic.get current) s with
+  | Some i -> i
+  | None ->
+    Mutex.lock lock;
+    let i = intern_unlocked s in
+    Mutex.unlock lock;
+    i
 
 let name i = !names.(i)
 
@@ -46,7 +117,7 @@ let fresh base =
   let rec go () =
     incr fresh_counter;
     let s = Printf.sprintf "%s#%d" base !fresh_counter in
-    if Hashtbl.mem table s then go () else intern_unlocked s
+    if probe (Atomic.get current) s <> None then go () else intern_unlocked s
   in
   let i = go () in
   Mutex.unlock lock;

@@ -1,0 +1,51 @@
+(** Admission control for the network front end: a server-wide in-flight
+    concurrency limit plus a per-tenant token-bucket quota, both checked
+    {e before} a request reaches the worker pool. Rejections are typed so
+    the protocol layer can shed with [overloaded] / [quota_exceeded]
+    responses instead of stalling connections.
+
+    Shedding is accounted in the attached telemetry under
+    [serve.shed.overloaded] and [serve.shed.quota]; the admitted
+    concurrency high-water mark under [serve.inflight.peak]. *)
+
+type t
+
+type outcome =
+  | Admitted  (** an in-flight slot and a token were taken; {!release} later *)
+  | Overloaded of int  (** server-wide limit hit; carries the in-flight count *)
+  | Quota_exceeded of float
+      (** the tenant's bucket is empty; carries seconds until the next token *)
+
+val create :
+  ?now:(unit -> float) ->
+  ?rate:float ->
+  ?burst:float ->
+  ?max_inflight:int ->
+  telemetry:Tgd_exec.Telemetry.t ->
+  unit ->
+  t
+(** [now] is the clock (default [Unix.gettimeofday]; inject a virtual clock
+    to make refill deterministic in tests). [rate] is tokens/second granted
+    to each tenant (default [infinity] — no quota); [burst] the bucket
+    capacity (default [max 1 rate]; every tenant starts with a full
+    bucket). [max_inflight] bounds concurrently admitted requests across
+    all tenants (default [0] — unlimited). Raises [Invalid_argument] on a
+    non-positive [rate], a [burst < 1], or a negative [max_inflight]. *)
+
+val admit : t -> tenant:string -> outcome
+(** Try to admit one request for [tenant]. On [Admitted] the caller owns an
+    in-flight slot and must {!release} it when the request completes (or is
+    dropped). The overload check precedes the quota check, so a saturated
+    server does not drain buckets. *)
+
+val release : t -> unit
+(** Return an in-flight slot taken by a successful {!admit}. Raises
+    [Invalid_argument] if nothing is in flight (slot accounting bug). *)
+
+val inflight : t -> int
+(** Currently admitted, not yet released, requests. *)
+
+val tokens : t -> tenant:string -> float
+(** The tenant's current token balance after refill at [now ()] (the full
+    [burst] for a tenant never seen; [infinity] when no quota is set).
+    Observability/testing helper — does not consume anything. *)

@@ -1,0 +1,554 @@
+(* The multi-client network front end: a select-based event loop over any
+   number of Unix-domain / TCP listeners, a connection table with
+   per-connection read buffers and incremental JSONL framing, and in-order
+   response multiplexing per connection while requests from different
+   connections interleave through the shared worker pool.
+
+   Threading model: exactly one event-loop thread owns every connection
+   and the listener sockets. Worker domains (the request pool) never touch
+   a socket — a finished job pushes its pre-serialized response line onto
+   the completion queue and pokes the self-pipe, and the loop writes it
+   out. Mutations, stats and shutdown execute inline on the loop thread
+   behind a fence (all in-flight pool queries answered first), exactly
+   mirroring the single-stream [Server.run] semantics — including the
+   durable-store contract: a mutation's WAL record is fsynced inside
+   [Server.handle], i.e. before its response line is even queued.
+
+   Ordering guarantee: responses on one connection are written strictly in
+   the order the requests arrived on that connection (each request takes
+   the next sequence slot at parse time; completed responses wait in
+   [pending] until every earlier slot has been written). Across
+   connections there is no ordering. *)
+
+type addr =
+  | Unix_path of string
+  | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+type listener = {
+  l_fd : Unix.file_descr;
+  l_addr : addr;
+}
+
+let listener_addr l = l.l_addr
+
+let listen ?(backlog = 128) addr =
+  match addr with
+  | Unix_path path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd backlog
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e);
+    { l_fd = fd; l_addr = addr }
+  | Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> failwith (Printf.sprintf "cannot resolve %S" host))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (inet, port));
+       Unix.listen fd backlog
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e);
+    let port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    { l_fd = fd; l_addr = Tcp (host, port) }
+
+let close_listener l =
+  (try Unix.close l.l_fd with _ -> ());
+  match l.l_addr with
+  | Unix_path p -> ( try if Sys.file_exists p then Unix.unlink p with _ -> ())
+  | Tcp _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  acc : Buffer.t;  (* partial line accumulated across reads *)
+  mutable next_seq : int;  (* response slot handed to the next request *)
+  mutable write_head : int;  (* the slot whose response is written next *)
+  pending : (int, string) Hashtbl.t;  (* completed out-of-order responses *)
+  out : Buffer.t;  (* serialized bytes not yet accepted by the socket *)
+  mutable out_pos : int;
+  mutable eof : bool;  (* read side done (client half-closed or EOF) *)
+}
+
+(* All slots answered and every byte flushed: nothing left to deliver. *)
+let drained c =
+  c.write_head = c.next_seq && Hashtbl.length c.pending = 0 && c.out_pos >= Buffer.length c.out
+
+type t = {
+  server : Server.t;
+  pool : Tgd_exec.Pool.t;
+  admission : Admission.t;
+  telemetry : Tgd_exec.Telemetry.t;
+  max_clients : int;
+  max_line : int;
+  conns : (int, conn) Hashtbl.t;  (* id -> conn *)
+  by_fd : (Unix.file_descr, conn) Hashtbl.t;
+  completions : (int * int * string) Queue.t;  (* conn id, seq, response line *)
+  completions_lock : Mutex.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  (* Queries admitted to the pool and not yet drained from [completions]:
+     the fence (mutations/stats/shutdown) waits for this to reach zero. *)
+  mutable pool_inflight : int;
+  fence : (int * int * Protocol.envelope) Queue.t;  (* ordered control ops *)
+  parked : (int * int * Protocol.envelope) Queue.t;  (* queries held behind the fence *)
+  mutable stopping : bool;
+  scratch : Bytes.t;
+}
+
+let count t key n = ignore (Tgd_exec.Telemetry.add t.telemetry key n)
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+(* Push whatever the socket will take right now; never blocks. *)
+let try_flush t c =
+  let len = Buffer.length c.out - c.out_pos in
+  if len > 0 then
+    match Unix.write_substring c.fd (Buffer.contents c.out) c.out_pos len with
+    | n ->
+      c.out_pos <- c.out_pos + n;
+      if c.out_pos >= Buffer.length c.out then begin
+        Buffer.clear c.out;
+        c.out_pos <- 0
+      end;
+      true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> true
+    | exception Unix.Unix_error _ ->
+      (* Peer reset mid-write: the connection is dead. *)
+      false
+  else true
+
+let drop_conn t c =
+  Hashtbl.remove t.conns c.id;
+  Hashtbl.remove t.by_fd c.fd;
+  (try Unix.close c.fd with _ -> ());
+  count t "serve.net.closed" 1
+
+(* Record a completed response for its slot and advance the in-order write
+   head. A response for a dropped connection is discarded (its admission
+   slot was released when the completion drained). *)
+let complete t ~conn_id ~seq line =
+  match Hashtbl.find_opt t.conns conn_id with
+  | None -> ()
+  | Some c ->
+    Hashtbl.replace c.pending seq line;
+    let advanced = ref false in
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt c.pending c.write_head with
+      | None -> continue := false
+      | Some l ->
+        Hashtbl.remove c.pending c.write_head;
+        Buffer.add_string c.out l;
+        Buffer.add_char c.out '\n';
+        c.write_head <- c.write_head + 1;
+        advanced := true
+    done;
+    if !advanced then begin
+      if not (try_flush t c) then drop_conn t c
+      else if c.eof && drained c then drop_conn t c
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    (* Pipe full: a wake-up byte is already pending, which is all we need. *)
+    ()
+
+let submit_query t ~conn_id ~seq (env : Protocol.envelope) =
+  let tenant = Option.value ~default:"default" env.Protocol.tenant in
+  match Admission.admit t.admission ~tenant with
+  | Admission.Overloaded n ->
+    complete t ~conn_id ~seq
+      (Protocol.response_error ~id:env.Protocol.id ~kind:"overloaded"
+         (Printf.sprintf "server at max in-flight (%d); retry later" n))
+  | Admission.Quota_exceeded retry_s ->
+    complete t ~conn_id ~seq
+      (Protocol.response_error ~id:env.Protocol.id ~kind:"quota_exceeded"
+         (Printf.sprintf "tenant %S out of quota; retry in %.3fs" tenant retry_s))
+  | Admission.Admitted -> (
+    let id = env.Protocol.id in
+    let request = env.Protocol.request in
+    let job () =
+      let line =
+        match Server.handle t.server request with
+        | Ok fields -> Protocol.response_ok ~id fields
+        | Error (kind, msg) -> Protocol.response_error ~id ~kind msg
+        | exception e ->
+          Protocol.response_error ~id ~kind:"internal"
+            ("request raised: " ^ Printexc.to_string e)
+      in
+      Mutex.lock t.completions_lock;
+      Queue.push (conn_id, seq, line) t.completions;
+      Mutex.unlock t.completions_lock;
+      wake t
+    in
+    t.pool_inflight <- t.pool_inflight + 1;
+    match Tgd_exec.Pool.submit t.pool job with
+    | Ok _ -> ()
+    | Error reject ->
+      t.pool_inflight <- t.pool_inflight - 1;
+      Admission.release t.admission;
+      let kind, msg =
+        match reject with
+        | `Overloaded depth -> ("overloaded", Printf.sprintf "queue full (%d waiting)" depth)
+        | `Closed -> ("internal", "worker pool closed")
+      in
+      complete t ~conn_id ~seq (Protocol.response_error ~id ~kind msg))
+
+(* Shed a parked query at shutdown: admitted-but-parked work must still be
+   answered before the loop exits, and "try again elsewhere" is the honest
+   answer once this process is stopping. *)
+let shed_parked t =
+  Queue.iter
+    (fun (conn_id, seq, (env : Protocol.envelope)) ->
+      count t "serve.shed.overloaded" 1;
+      complete t ~conn_id ~seq
+        (Protocol.response_error ~id:env.Protocol.id ~kind:"overloaded" "server stopping"))
+    t.parked;
+  Queue.clear t.parked
+
+(* Run fenced control operations once no pool query is in flight, then
+   release any parked queries. Mutations run inline on the loop thread:
+   the WAL append + fsync inside [Server.handle] completes before the
+   response line is queued, preserving fsync-before-ack per connection. *)
+let run_fences t =
+  while (not (Queue.is_empty t.fence)) && t.pool_inflight = 0 do
+    let conn_id, seq, (env : Protocol.envelope) = Queue.pop t.fence in
+    match env.Protocol.request with
+    | Protocol.Shutdown ->
+      t.stopping <- true;
+      complete t ~conn_id ~seq
+        (Protocol.response_ok ~id:env.Protocol.id [ ("stopping", Json.Bool true) ])
+    | request ->
+      let line =
+        match Server.handle t.server request with
+        | Ok fields -> Protocol.response_ok ~id:env.Protocol.id fields
+        | Error (kind, msg) -> Protocol.response_error ~id:env.Protocol.id ~kind msg
+        | exception e ->
+          Protocol.response_error ~id:env.Protocol.id ~kind:"internal"
+            ("request raised: " ^ Printexc.to_string e)
+      in
+      complete t ~conn_id ~seq line
+  done;
+  if Queue.is_empty t.fence then
+    if t.stopping then shed_parked t
+    else
+      while not (Queue.is_empty t.parked) do
+        let conn_id, seq, env = Queue.pop t.parked in
+        submit_query t ~conn_id ~seq env
+      done
+
+let handle_line t c line =
+  let seq = c.next_seq in
+  c.next_seq <- seq + 1;
+  count t "serve.net.lines" 1;
+  match Protocol.parse line with
+  | Error (id, msg) ->
+    complete t ~conn_id:c.id ~seq (Protocol.response_error ~id ~kind:"bad_request" msg)
+  | Ok env -> (
+    match env.Protocol.request with
+    | Protocol.Ping ->
+      complete t ~conn_id:c.id ~seq
+        (Protocol.response_ok ~id:env.Protocol.id [ ("pong", Json.Bool true) ])
+    | Protocol.Prepare _ | Protocol.Execute _ ->
+      if t.stopping then begin
+        count t "serve.shed.overloaded" 1;
+        complete t ~conn_id:c.id ~seq
+          (Protocol.response_error ~id:env.Protocol.id ~kind:"overloaded" "server stopping")
+      end
+      else if not (Queue.is_empty t.fence) then Queue.push (c.id, seq, env) t.parked
+      else submit_query t ~conn_id:c.id ~seq env
+    | Protocol.Register_ontology _ | Protocol.Load_csv _ | Protocol.Add_facts _
+    | Protocol.Materialize _ | Protocol.Snapshot _ | Protocol.Stats | Protocol.Shutdown ->
+      Queue.push (c.id, seq, env) t.fence;
+      run_fences t)
+
+(* ------------------------------------------------------------------ *)
+(* Reading + framing                                                   *)
+
+(* Split the fresh chunk on newlines: the first newline completes the
+   accumulated partial (if any); the trailing partial is re-accumulated.
+   '\r' before the newline is tolerated. A partial exceeding [max_line] is
+   a framing failure: respond once and drop the connection (there is no
+   reliable way to resynchronize). Returns [false] if the conn died. *)
+let feed t c chunk len =
+  let alive = ref true in
+  let emit line =
+    if !alive then begin
+      let line =
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      in
+      if String.trim line <> "" then handle_line t c line;
+      (* handle_line may have dropped the conn on a write error *)
+      alive := Hashtbl.mem t.conns c.id
+    end
+  in
+  let start = ref 0 in
+  (try
+     for i = 0 to len - 1 do
+       if Bytes.get chunk i = '\n' then begin
+         if Buffer.length c.acc > 0 then begin
+           Buffer.add_subbytes c.acc chunk !start (i - !start);
+           let line = Buffer.contents c.acc in
+           Buffer.clear c.acc;
+           emit line
+         end
+         else emit (Bytes.sub_string chunk !start (i - !start));
+         start := i + 1;
+         if not !alive then raise Exit
+       end
+     done
+   with Exit -> ());
+  if !alive then begin
+    if len - !start > 0 then Buffer.add_subbytes c.acc chunk !start (len - !start);
+    if Buffer.length c.acc > t.max_line then begin
+      count t "serve.net.oversized" 1;
+      let seq = c.next_seq in
+      c.next_seq <- seq + 1;
+      complete t ~conn_id:c.id ~seq
+        (Protocol.response_error ~id:Json.Null ~kind:"bad_request"
+           (Printf.sprintf "request line exceeds %d bytes" t.max_line));
+      (* Deliver the error if the socket will take it, then cut. *)
+      (match Hashtbl.find_opt t.conns c.id with
+      | Some c -> drop_conn t c
+      | None -> ());
+      alive := false
+    end
+  end;
+  !alive
+
+let handle_readable t c =
+  match Unix.read c.fd t.scratch 0 (Bytes.length t.scratch) with
+  | 0 ->
+    (* EOF (or half-close): stop reading, but deliver every response the
+       connection is still owed before closing. *)
+    c.eof <- true;
+    if drained c then drop_conn t c
+  | n -> ignore (feed t c t.scratch n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_conn t c
+
+(* ------------------------------------------------------------------ *)
+(* Accept                                                              *)
+
+let conn_ids = ref 0
+
+let handle_accept t l =
+  match Unix.accept ~cloexec:true l.l_fd with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | fd, _ ->
+    Unix.set_nonblock fd;
+    if Hashtbl.length t.conns >= t.max_clients then begin
+      count t "serve.net.rejected" 1;
+      (* Best-effort shed notice; the socket buffer of a fresh connection
+         takes one small line without blocking. *)
+      let line =
+        Protocol.response_error ~id:Json.Null ~kind:"overloaded"
+          (Printf.sprintf "server at max clients (%d)" t.max_clients)
+        ^ "\n"
+      in
+      (try ignore (Unix.write_substring fd line 0 (String.length line)) with _ -> ());
+      try Unix.close fd with _ -> ()
+    end
+    else begin
+      incr conn_ids;
+      let c =
+        {
+          id = !conn_ids;
+          fd;
+          acc = Buffer.create 256;
+          next_seq = 0;
+          write_head = 0;
+          pending = Hashtbl.create 4;
+          out = Buffer.create 256;
+          out_pos = 0;
+          eof = false;
+        }
+      in
+      Hashtbl.replace t.conns c.id c;
+      Hashtbl.replace t.by_fd fd c;
+      count t "serve.net.accepted" 1;
+      Tgd_exec.Telemetry.gauge t.telemetry "serve.net.connections.peak" (Hashtbl.length t.conns)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Completion drain                                                    *)
+
+let drain_completions t =
+  (* Clear the wake pipe first so a poke arriving mid-drain re-triggers. *)
+  (try
+     while Unix.read t.wake_r t.scratch 0 (Bytes.length t.scratch) = Bytes.length t.scratch do
+       ()
+     done
+   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ());
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.completions_lock;
+    let item = if Queue.is_empty t.completions then None else Some (Queue.pop t.completions) in
+    Mutex.unlock t.completions_lock;
+    match item with
+    | None -> continue := false
+    | Some (conn_id, seq, line) ->
+      t.pool_inflight <- t.pool_inflight - 1;
+      Admission.release t.admission;
+      complete t ~conn_id ~seq line
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                            *)
+
+let serve ?workers ?(queue_bound = 64) ?(max_clients = 1024) ?(max_line = 8 * 1024 * 1024)
+    ?rate ?burst ?max_inflight ?now server ~listeners =
+  if max_clients <= 0 then invalid_arg "Net.serve: max_clients must be positive";
+  if max_line <= 0 then invalid_arg "Net.serve: max_line must be positive";
+  let workers =
+    match workers with
+    | Some w when w > 0 -> w
+    | Some _ -> invalid_arg "Net.serve: workers must be positive"
+    | None -> Tgd_exec.Pool.default_workers ()
+  in
+  if queue_bound <= 0 then invalid_arg "Net.serve: queue_bound must be positive";
+  let telemetry = Server.telemetry server in
+  let max_inflight =
+    match max_inflight with
+    | Some m when m > 0 -> m
+    | Some _ -> invalid_arg "Net.serve: max_inflight must be positive"
+    | None -> workers + queue_bound
+  in
+  (* A peer that disconnects mid-response must surface as EPIPE on the
+     write (handled per connection), not as a process-killing SIGPIPE. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let admission = Admission.create ?now ?rate ?burst ~max_inflight ~telemetry () in
+  (* The pool's own bound sits at the admission limit, so admission is the
+     one place shedding decisions are made. *)
+  let pool = Tgd_exec.Pool.create ~workers ~queue_bound:max_inflight () in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      server;
+      pool;
+      admission;
+      telemetry;
+      max_clients;
+      max_line;
+      conns = Hashtbl.create 64;
+      by_fd = Hashtbl.create 64;
+      completions = Queue.create ();
+      completions_lock = Mutex.create ();
+      wake_r;
+      wake_w;
+      pool_inflight = 0;
+      fence = Queue.create ();
+      parked = Queue.create ();
+      stopping = false;
+      scratch = Bytes.create 65536;
+    }
+  in
+  let listener_fds = List.map (fun l -> l.l_fd) listeners in
+  List.iter Unix.set_nonblock listener_fds;
+  let finished () =
+    t.stopping && t.pool_inflight = 0 && Queue.is_empty t.fence && Queue.is_empty t.parked
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter close_listener listeners;
+      Hashtbl.iter
+        (fun _ c ->
+          ignore (try_flush t c);
+          try Unix.close c.fd with _ -> ())
+        t.conns;
+      Hashtbl.reset t.conns;
+      Hashtbl.reset t.by_fd;
+      (try Unix.close t.wake_r with _ -> ());
+      (try Unix.close t.wake_w with _ -> ());
+      Tgd_exec.Pool.shutdown t.pool)
+    (fun () ->
+      while not (finished ()) do
+        let reads =
+          t.wake_r
+          :: (if t.stopping then [] else listener_fds)
+          @ Hashtbl.fold (fun _ c acc -> if c.eof then acc else c.fd :: acc) t.conns []
+        in
+        let writes =
+          Hashtbl.fold
+            (fun _ c acc -> if Buffer.length c.out > c.out_pos then c.fd :: acc else acc)
+            t.conns []
+        in
+        match Unix.select reads writes [] 1.0 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | readable, writable, _ ->
+          (* Drain finished jobs first: it may unblock the fence and it
+             frees admission slots before new requests are parsed. *)
+          drain_completions t;
+          if not (Queue.is_empty t.fence) then run_fences t;
+          List.iter
+            (fun fd ->
+              if List.memq fd listener_fds then
+                List.iter (fun l -> if l.l_fd == fd then handle_accept t l) listeners
+              else if fd != t.wake_r then
+                match Hashtbl.find_opt t.by_fd fd with
+                | Some c -> handle_readable t c
+                | None -> ())
+            readable;
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt t.by_fd fd with
+              | Some c ->
+                if not (try_flush t c) then drop_conn t c
+                else if c.eof && drained c then drop_conn t c
+              | None -> ())
+            writable
+      done;
+      (* Final flush: give straggler connections a short grace window to
+         take their last bytes, then cut. *)
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      let rec flush_all () =
+        let dirty =
+          Hashtbl.fold
+            (fun _ c acc -> if Buffer.length c.out > c.out_pos then c :: acc else acc)
+            t.conns []
+        in
+        if dirty <> [] && Unix.gettimeofday () < deadline then begin
+          let fds = List.map (fun c -> c.fd) dirty in
+          (match Unix.select [] fds [] 0.1 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | _, writable, _ ->
+            List.iter
+              (fun fd ->
+                match Hashtbl.find_opt t.by_fd fd with
+                | Some c -> if not (try_flush t c) then drop_conn t c
+                | None -> ())
+              writable);
+          flush_all ()
+        end
+      in
+      flush_all ())

@@ -32,6 +32,7 @@ type request =
 
 type envelope = {
   id : Json.t;
+  tenant : string option;
   request : request;
 }
 
@@ -88,9 +89,13 @@ let parse line =
   | Error msg -> Error (Json.Null, "bad JSON: " ^ msg)
   | Ok j -> (
     let id = field_id j in
-    match request_of j with
-    | Ok request -> Ok { id; request }
-    | Error msg -> Error (id, msg))
+    match Json.member "tenant" j with
+    | Some (Json.String _) | None -> (
+      let tenant = Json.string_field "tenant" j in
+      match request_of j with
+      | Ok request -> Ok { id; tenant; request }
+      | Error msg -> Error (id, msg))
+    | Some _ -> Error (id, "field \"tenant\" must be a string"))
 
 let response_ok ~id fields = Json.to_string (Json.Obj (("id", id) :: ("ok", Json.Bool true) :: fields))
 

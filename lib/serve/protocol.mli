@@ -61,6 +61,9 @@ type request =
 
 type envelope = {
   id : Json.t;  (** [Json.Null] when the client sent none *)
+  tenant : string option;
+      (** the ["tenant"] field, if present — the admission-control identity
+          the network front end charges the request's quota token to *)
   request : request;
 }
 

@@ -133,8 +133,7 @@ let prepare_entry t (entry : Registry.entry) canon gov =
     (prepared, false)
 
 let json_tuple tup =
-  Json.List
-    (Array.to_list (Array.map (fun v -> Json.String (Format.asprintf "%a" Tgd_db.Value.pp v)) tup))
+  Json.List (Array.to_list (Array.map (fun v -> Json.String (Tgd_db.Value.to_string v)) tup))
 
 let with_entry t name f =
   match Registry.find t.registry name with

@@ -83,6 +83,69 @@ let test_pool_run_morsels () =
   Tgd_exec.Pool.run_morsels pool ~n:10 (fun _ -> Atomic.incr count);
   Alcotest.(check int) "batch completes on a closed pool" 10 (Atomic.get count)
 
+(* Concurrent submitters racing drain and shutdown: every admitted job
+   runs exactly once, rejected jobs never run, nothing deadlocks. *)
+let test_pool_concurrent_submit_drain () =
+  let pool = Tgd_exec.Pool.create ~workers:2 ~queue_bound:8 () in
+  let executed = Atomic.make 0 in
+  let admitted = Atomic.make 0 in
+  let rejected = Atomic.make 0 in
+  let submitters =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 200 do
+              match Tgd_exec.Pool.submit pool (fun () -> Atomic.incr executed) with
+              | Ok _ -> Atomic.incr admitted
+              | Error (`Overloaded _) -> Atomic.incr rejected
+              | Error `Closed -> Alcotest.fail "pool closed while open"
+            done)
+          ())
+  in
+  (* Drain races the submitters: it must return (momentary emptiness is
+     enough) and never lose work. *)
+  Tgd_exec.Pool.drain pool;
+  List.iter Thread.join submitters;
+  Tgd_exec.Pool.drain pool;
+  Alcotest.(check int) "admitted jobs ran exactly once" (Atomic.get admitted)
+    (Atomic.get executed);
+  Alcotest.(check int) "every submission accounted for" 800
+    (Atomic.get admitted + Atomic.get rejected);
+  Tgd_exec.Pool.shutdown pool
+
+(* Shutdown while jobs are queued and a drainer is blocked: admitted work
+   still completes, the drainer returns, late submitters see [`Closed]. *)
+let test_pool_shutdown_during_drain () =
+  let pool = Tgd_exec.Pool.create ~workers:1 () in
+  let executed = Atomic.make 0 in
+  for _ = 1 to 50 do
+    match Tgd_exec.Pool.submit pool (fun () -> Atomic.incr executed) with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "unbounded pool rejected a job"
+  done;
+  let drainer = Thread.create (fun () -> Tgd_exec.Pool.drain pool) () in
+  Tgd_exec.Pool.shutdown pool;
+  Thread.join drainer;
+  Alcotest.(check int) "admitted jobs survived shutdown" 50 (Atomic.get executed);
+  (match Tgd_exec.Pool.submit pool (fun () -> ()) with
+  | Error `Closed -> ()
+  | Ok _ | Error (`Overloaded _) -> Alcotest.fail "closed pool accepted a job")
+
+(* The core-count clamp: requesting absurd worker counts spawns at most
+   one domain per core (observable via [size]), without changing queue
+   semantics; TGDLIB_OVERSUBSCRIBE=1 is the explicit escape hatch. *)
+let test_pool_core_clamp () =
+  let cores = max 1 (Domain.recommended_domain_count ()) in
+  let pool = Tgd_exec.Pool.create ~workers:(cores + 13) () in
+  Alcotest.(check int) "workers clamped to cores" cores (Tgd_exec.Pool.size pool);
+  let hits = Atomic.make 0 in
+  for _ = 1 to 20 do
+    ignore (Tgd_exec.Pool.submit pool (fun () -> Atomic.incr hits))
+  done;
+  Tgd_exec.Pool.drain pool;
+  Alcotest.(check int) "clamped pool is work-conserving" 20 (Atomic.get hits);
+  Tgd_exec.Pool.shutdown pool
+
 (* ------------------------------------------------------------------ *)
 (* Relation partitioning *)
 
@@ -287,6 +350,10 @@ let () =
           Alcotest.test_case "submit / drain / shutdown" `Quick test_pool_submit_drain;
           Alcotest.test_case "overload shedding" `Quick test_pool_overload;
           Alcotest.test_case "run_morsels" `Quick test_pool_run_morsels;
+          Alcotest.test_case "concurrent submit vs drain" `Quick
+            test_pool_concurrent_submit_drain;
+          Alcotest.test_case "shutdown during drain" `Quick test_pool_shutdown_during_drain;
+          Alcotest.test_case "worker clamp to core count" `Quick test_pool_core_clamp;
         ] );
       ( "partition",
         [

@@ -488,6 +488,92 @@ let test_server_errors () =
   | Error (Json.Int 42, _) -> ()
   | _ -> Alcotest.fail "protocol error must carry the request id"
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+(* Protocol-level fault injection: every abused line must come back as a
+   typed error that recovers the request id whenever one is present. *)
+let test_protocol_fault_injection () =
+  let expect_error ?id what line =
+    match Protocol.parse line with
+    | Error (got_id, msg) ->
+      Alcotest.(check bool) (what ^ ": non-empty message") true (String.length msg > 0);
+      (match id with
+      | Some i -> (
+        match got_id with
+        | Json.Int j -> Alcotest.(check int) (what ^ ": id recovered") i j
+        | _ -> Alcotest.fail (what ^ ": expected recovered id"))
+      | None -> ())
+    | Ok _ -> Alcotest.fail (what ^ ": expected a parse error")
+  in
+  expect_error "empty object" "{}";
+  expect_error "not json" "complete garbage";
+  expect_error "binary garbage" "\x00\x01\xfe\xff{\x80}";
+  expect_error "truncated json" {|{"op":"execute","ontology|};
+  expect_error "non-object json" {|[1,2,3]|};
+  expect_error "missing op" ~id:9 {|{"id":9,"ontology":"uni"}|};
+  expect_error "unknown op" ~id:10 {|{"id":10,"op":"frobnicate"}|};
+  expect_error "op not a string" ~id:11 {|{"id":11,"op":17}|};
+  expect_error "missing required field" ~id:12 {|{"id":12,"op":"execute","query":"q(X) :- p(X)."}|};
+  expect_error "tenant must be a string" ~id:13
+    {|{"id":13,"op":"ping","tenant":{"org":"acme"}}|};
+  (* A well-typed tenant rides along on any request. *)
+  match Protocol.parse {|{"id":14,"op":"ping","tenant":"acme"}|} with
+  | Ok { Protocol.tenant = Some "acme"; _ } -> ()
+  | Ok _ -> Alcotest.fail "tenant field lost"
+  | Error (_, msg) -> Alcotest.fail ("tenant parse failed: " ^ msg)
+
+(* The single-stream serving loop survives a hostile stream: malformed
+   JSON, binary garbage and half-finished requests interleaved with real
+   work — one typed response per line, then a clean [`Eof], and the server
+   state is still live afterwards. *)
+let test_server_run_fault_stream () =
+  let srv = Server.create () in
+  let script =
+    [
+      {|{"id":1,"op":"register-ontology","name":"uni","source":"professor(X) -> person(X). professor(ada)."}|};
+      "not json at all";
+      "\x00\x01\xfe\xffbinary\x00";
+      {|{"op":|};
+      {|{"id":2,"op":"execute","ontology":"uni","query":"q(X) :- person(X)."}|};
+      {|{"id":3,"op":"execute","ontology":"uni","query":"syntactically broken"}|};
+      {|{"id":4,"op":"ping"}|};
+    ]
+  in
+  let in_path = Filename.temp_file "serve_faults_in" ".jsonl" in
+  let out_path = Filename.temp_file "serve_faults_out" ".jsonl" in
+  let oc = open_out in_path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) script;
+  close_out oc;
+  let ic = open_in in_path and oc = open_out out_path in
+  let outcome = Server.run ~workers:1 srv ic oc in
+  close_in ic;
+  close_out oc;
+  Alcotest.(check bool) "stream ends in Eof, not a crash" true (outcome = `Eof);
+  let ic = open_in out_path in
+  let n = in_channel_length ic in
+  let output = really_input_string ic n in
+  close_in ic;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  let lines = String.split_on_char '\n' (String.trim output) in
+  Alcotest.(check int) "one response per line, even the garbage ones" (List.length script)
+    (List.length lines);
+  Alcotest.(check bool) "garbage answered with typed errors" true
+    (contains output {|"kind":"bad_request"|});
+  Alcotest.(check bool) "real work still served" true (contains output {|[["ada"]]|});
+  Alcotest.(check bool) "broken query typed, not fatal" true
+    (contains output {|"id":3,"ok":false|});
+  Alcotest.(check bool) "trailing ping answered" true (contains output {|"pong":true|});
+  (* The server survived the stream. *)
+  match
+    Server.handle srv (Protocol.Execute { ontology = "uni"; query = "q(X) :- person(X)."; budget = None })
+  with
+  | Ok _ -> ()
+  | Error (kind, msg) -> Alcotest.fail ("server wedged after fault stream: " ^ kind ^ ": " ^ msg)
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: the real binary over stdin/stdout JSONL *)
 
@@ -496,11 +582,6 @@ let obda =
   match List.find_opt Sys.file_exists candidates with
   | Some path -> path
   | None -> "../bin/obda.exe"
-
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
-  nn = 0 || loop 0
 
 let test_cli_serve_smoke () =
   let script = Filename.temp_file "serve_in" ".jsonl" in
@@ -573,6 +654,11 @@ let () =
         Alcotest.test_case "no stale answers across delta and full bumps" `Quick
           test_server_no_stale_across_bumps;
         Alcotest.test_case "typed errors" `Quick test_server_errors;
+      ]);
+      ("faults", [
+        Alcotest.test_case "protocol fault injection" `Quick test_protocol_fault_injection;
+        Alcotest.test_case "serving loop survives a hostile stream" `Quick
+          test_server_run_fault_stream;
       ]);
       ("cli", [ Alcotest.test_case "obda serve JSONL smoke" `Quick test_cli_serve_smoke ]);
     ]
