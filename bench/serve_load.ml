@@ -73,7 +73,7 @@ let build_variants () =
           (fun tag ->
             let s = qstr ~tag q in
             let fields =
-              match Server.handle oracle (P.Execute { ontology = "uni"; query = s; budget = None })
+              match Server.handle oracle (P.Execute { ontology = "uni"; query = s; budget = None; target = None })
               with
               | Ok fields -> fields
               | Error (kind, msg) -> failwith ("oracle: " ^ kind ^ ": " ^ msg)

@@ -198,35 +198,74 @@ let graph_cmd =
 (* ------------------------------------------------------------------ *)
 (* rewrite                                                             *)
 
+let target_arg =
+  Arg.(
+    value & opt string "ucq"
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          "Rewriting target: $(b,ucq) (union of conjunctive queries), $(b,datalog) (shared-pattern \
+           Datalog program, evaluated by semi-naive saturation), or $(b,auto) (classifier \
+           dispatch, falling back to the other target when the preferred one truncates).")
+
+let target_of_flag s =
+  match Tgd_obda.Target.of_string s with
+  | Ok t -> t
+  | Error msg ->
+    Format.eprintf "bad --target: %s@." msg;
+    exit 2
+
 let rewrite_cmd =
-  let run path sql max_cqs budget deadline stats_json =
+  let run path sql target max_cqs budget deadline stats_json =
     let p, doc = load_program path in
     if doc.Tgd_parser.Parser.queries = [] then begin
       Format.eprintf "no queries in %s (add lines like: q(X) :- person(X).)@." path;
       exit 2
     end;
-    let config = { Tgd_rewrite.Rewrite.default_config with max_cqs } in
+    let target = target_of_flag target in
+    let ucq_config = { Tgd_rewrite.Rewrite.default_config with max_cqs } in
     let b = budget_of_flags budget deadline in
     let records = ref [] in
     List.iter
       (fun q ->
-        let gov = fresh_governor b in
-        let r = Tgd_rewrite.Rewrite.ucq ~config ~gov p q in
-        Format.printf "%% query %s: %d disjunct(s), %s@." q.Cq.name
-          (List.length r.Tgd_rewrite.Rewrite.ucq)
-          (match r.Tgd_rewrite.Rewrite.outcome with
-          | Tgd_rewrite.Rewrite.Complete -> "complete rewriting"
-          | Tgd_rewrite.Rewrite.Truncated d ->
-            "TRUNCATED (" ^ Tgd_exec.Governor.diag_summary d ^ ")");
+        let last_gov = ref None in
+        let gov () =
+          let g = fresh_governor b in
+          last_gov := Some g;
+          g
+        in
+        let artifact = Tgd_obda.Target.prepare ~ucq_config ~gov target p q in
+        let gov = Option.get !last_gov in
         records := Tgd_exec.Governor.report_json ~run:("rewrite:" ^ q.Cq.name) gov :: !records;
-        if sql then
-          match r.Tgd_rewrite.Rewrite.ucq with
-          | [] -> Format.printf "-- empty rewriting: no SQL@."
-          | ucq -> Format.printf "%s;@." (Tgd_db.Sql.of_ucq ucq)
-        else begin
-          Cq.pp_ucq Format.std_formatter r.Tgd_rewrite.Rewrite.ucq;
-          Format.printf "@."
-        end)
+        match artifact with
+        | Tgd_obda.Target.Ucq_rewriting r ->
+          Format.printf "%% query %s: %d disjunct(s), %s@." q.Cq.name
+            (List.length r.Tgd_rewrite.Rewrite.ucq)
+            (match r.Tgd_rewrite.Rewrite.outcome with
+            | Tgd_rewrite.Rewrite.Complete -> "complete rewriting"
+            | Tgd_rewrite.Rewrite.Truncated d ->
+              "TRUNCATED (" ^ Tgd_exec.Governor.diag_summary d ^ ")");
+          if sql then
+            match r.Tgd_rewrite.Rewrite.ucq with
+            | [] -> Format.printf "-- empty rewriting: no SQL@."
+            | ucq -> Format.printf "%s;@." (Tgd_db.Sql.of_ucq ucq)
+          else begin
+            Cq.pp_ucq Format.std_formatter r.Tgd_rewrite.Rewrite.ucq;
+            Format.printf "@."
+          end
+        | Tgd_obda.Target.Datalog_rewriting r ->
+          if sql then begin
+            Format.eprintf "--sql is only supported with --target ucq@.";
+            exit 2
+          end;
+          Format.printf "%% query %s: datalog program, %d pattern(s), %d rule(s), %s, %s@."
+            q.Cq.name r.Tgd_rewrite.Datalog_rw.stats.Tgd_rewrite.Datalog_rw.patterns
+            r.Tgd_rewrite.Datalog_rw.stats.Tgd_rewrite.Datalog_rw.rules
+            (if r.Tgd_rewrite.Datalog_rw.nonrecursive then "nonrecursive" else "recursive")
+            (match r.Tgd_rewrite.Datalog_rw.outcome with
+            | Tgd_rewrite.Datalog_rw.Complete -> "complete rewriting"
+            | Tgd_rewrite.Datalog_rw.Truncated d ->
+              "TRUNCATED (" ^ Tgd_exec.Governor.diag_summary d ^ ")");
+          Format.printf "%a@." Tgd_rewrite.Datalog_rw.pp r)
       doc.Tgd_parser.Parser.queries;
     emit_stats stats_json (List.rev !records)
   in
@@ -236,8 +275,10 @@ let rewrite_cmd =
     Arg.(value & opt int 20_000 & info [ "max-cqs" ] ~doc:"Budget on generated CQs.")
   in
   Cmd.v
-    (Cmd.info "rewrite" ~doc:"Compute the UCQ (or SQL) rewriting of each query in the file.")
-    Term.(const run $ path $ sql $ max_cqs $ budget_arg $ deadline_arg $ stats_json_arg)
+    (Cmd.info "rewrite"
+       ~doc:"Compute the UCQ (or SQL) or Datalog rewriting of each query in the file.")
+    Term.(
+      const run $ path $ sql $ target_arg $ max_cqs $ budget_arg $ deadline_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answer                                                              *)
@@ -275,7 +316,7 @@ let resolve_eval_partitions = function
   | None -> None
 
 let answer_cmd =
-  let run path method_ data_files eval_workers eval_partitions budget deadline stats_json =
+  let run path method_ target data_files eval_workers eval_partitions budget deadline stats_json =
     let p, doc = load_program path in
     let inst = load_instance doc data_files in
     let eval_workers = resolve_eval_workers eval_workers in
@@ -303,20 +344,29 @@ let answer_cmd =
     in
     let records = ref [] in
     let record run gov = records := Tgd_exec.Governor.report_json ~run gov :: !records in
+    let target = target_of_flag target in
     let answer_by_rewriting q =
-      let gov = fresh_governor b in
-      let r = Tgd_rewrite.Rewrite.ucq ~gov p q in
-      let answers =
-        Tgd_db.Par_eval.ucq ~gov ?pool ~workers:eval_workers ?partitions:eval_partitions inst
-          r.Tgd_rewrite.Rewrite.ucq
-        |> List.filter (fun t -> not (Tgd_db.Tuple.has_null t))
+      let last_gov = ref None in
+      let gov () =
+        let g = fresh_governor b in
+        last_gov := Some g;
+        g
       in
-      record ("answer.rewriting:" ^ q.Cq.name) gov;
-      ( answers,
-        (match r.Tgd_rewrite.Rewrite.outcome with
-        | Tgd_rewrite.Rewrite.Complete -> true
-        | Tgd_rewrite.Rewrite.Truncated _ -> false)
-        && Tgd_exec.Governor.stopped gov = None )
+      let artifact = Tgd_obda.Target.prepare ~gov target p q in
+      let gov = Option.get !last_gov in
+      let answers =
+        match artifact with
+        | Tgd_obda.Target.Ucq_rewriting r ->
+          Tgd_db.Par_eval.ucq ~gov ?pool ~workers:eval_workers ?partitions:eval_partitions inst
+            r.Tgd_rewrite.Rewrite.ucq
+          |> List.filter (fun t -> not (Tgd_db.Tuple.has_null t))
+        | Tgd_obda.Target.Datalog_rewriting r -> Tgd_obda.Target.datalog_answers ~gov r inst
+      in
+      record
+        (Printf.sprintf "answer.rewriting.%s:%s" (Tgd_obda.Target.artifact_kind artifact)
+           q.Cq.name)
+        gov;
+      (answers, Tgd_obda.Target.complete artifact && Tgd_exec.Governor.stopped gov = None)
     in
     let answer_by_chase q =
       let gov = fresh_governor b in
@@ -358,8 +408,8 @@ let answer_cmd =
     (Cmd.info "answer"
        ~doc:"Compute certain answers to the queries in the file over its facts.")
     Term.(
-      const run $ path $ method_ $ data_arg $ eval_workers_arg $ eval_partitions_arg $ budget_arg
-      $ deadline_arg $ stats_json_arg)
+      const run $ path $ method_ $ target_arg $ data_arg $ eval_workers_arg $ eval_partitions_arg
+      $ budget_arg $ deadline_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chase                                                               *)
@@ -541,8 +591,9 @@ let parse_quota spec =
         (num (String.sub spec (i + 1) (String.length spec - i - 1))))
 
 let serve_cmd =
-  let run workers queue_bound cache_capacity eval_workers eval_partitions budget deadline socket
-      listen max_clients max_inflight quota data_dir fsync checkpoint_every =
+  let run workers queue_bound cache_capacity target eval_workers eval_partitions budget deadline
+      socket listen max_clients max_inflight quota data_dir fsync checkpoint_every =
+    let target = target_of_flag target in
     let base_budget =
       match (budget, deadline) with
       | None, None -> None (* keep the server's own default *)
@@ -586,8 +637,8 @@ let serve_cmd =
           exit 1)
     in
     let server =
-      Tgd_serve.Server.create ~cache_capacity ?base_budget ~eval_workers ?eval_partitions ?store
-        ~checkpoint_every ()
+      Tgd_serve.Server.create ~cache_capacity ?base_budget ~target ~eval_workers ?eval_partitions
+        ?store ~checkpoint_every ()
     in
     (match store with
     | Some s ->
@@ -722,9 +773,9 @@ let serve_cmd =
           With $(b,--data-dir) the registry is durable: write-ahead logged, snapshotted, and \
           recovered on restart.")
     Term.(
-      const run $ workers $ queue_bound $ cache_capacity $ eval_workers $ eval_partitions_arg
-      $ budget_arg $ deadline_arg $ socket $ listen $ max_clients $ max_inflight $ quota
-      $ data_dir $ fsync $ checkpoint_every)
+      const run $ workers $ queue_bound $ cache_capacity $ target_arg $ eval_workers
+      $ eval_partitions_arg $ budget_arg $ deadline_arg $ socket $ listen $ max_clients
+      $ max_inflight $ quota $ data_dir $ fsync $ checkpoint_every)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)

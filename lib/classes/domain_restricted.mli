@@ -6,4 +6,8 @@
 open Tgd_logic
 
 val rule_ok : Tgd.t -> bool
+(** [rule_ok r] holds when each head atom of [r] contains either all the
+    body variables of [r] or none of them. *)
+
 val check : Program.t -> bool
+(** [check p] holds when every rule of [p] satisfies {!rule_ok}. *)

@@ -4,4 +4,7 @@
 open Tgd_logic
 
 val rule_ok : Tgd.t -> bool
+(** [rule_ok r] holds when the body of [r] is a single atom. *)
+
 val check : Program.t -> bool
+(** [check p] holds when every rule of [p] satisfies {!rule_ok}. *)

@@ -19,3 +19,6 @@ val graph : Program.t -> (string * string) list
     [r1]. *)
 
 val acyclic : Program.t -> bool
+(** [acyclic p] holds when {!graph} has no cycle (conservatively, given
+    that {!depends} may over-approximate): the chase terminates and the
+    program is FO-rewritable. *)

@@ -27,10 +27,16 @@ type marking
 (** Marked body positions, per rule. *)
 
 val marking : Program.t -> marking
+(** Run the marking procedure (base case + propagation to fixpoint) over
+    the whole program. *)
 
 val marked_positions : marking -> Tgd.t -> (int * int) list
 (** [(atom_index, arg_index)] pairs (0-based) of marked body positions of a
     rule of the program. *)
 
 val sticky : Program.t -> bool
+(** No marked variable occurs more than once in any rule body. *)
+
 val sticky_join : Program.t -> bool
+(** No marked variable occurs in two distinct body atoms of a rule; see
+    the over-approximation caveat above — negative verdicts only. *)

@@ -9,10 +9,13 @@
 open Tgd_logic
 
 type edge_kind =
-  | Normal
-  | Special
+  | Normal  (** a frontier variable flows from the body position to the head position *)
+  | Special  (** an existential variable is invented at the head position *)
 
 val graph : Program.t -> ((Symbol.t * int) * edge_kind * (Symbol.t * int)) list
 (** The position dependency graph as an edge list (positions are 1-based). *)
 
 val check : Program.t -> bool
+(** [check p] holds when no cycle of {!graph} traverses a [Special]
+    edge — the Fagin–Kolaitis–Miller–Popa guarantee that the chase of any
+    instance under [p] terminates. *)

@@ -268,7 +268,7 @@ let check_serve (o : Oracle.t) (case : Case.t) =
     in
     let execute () =
       o.Oracle.serve_handle server
-        (Tgd_serve.Protocol.Execute { ontology = "fuzz"; query = query_src; budget = None })
+        (Tgd_serve.Protocol.Execute { ontology = "fuzz"; query = query_src; budget = None; target = None })
     in
     let epoch_of fields =
       match field "epoch" fields with Some (Tgd_serve.Json.Int e) -> Some e | _ -> None
@@ -525,7 +525,7 @@ let check_durability (o : Oracle.t) (case : Case.t) =
   let execute server =
     let* fields =
       req server
-        (Tgd_serve.Protocol.Execute { ontology = "fuzz"; query = query_src; budget = None })
+        (Tgd_serve.Protocol.Execute { ontology = "fuzz"; query = query_src; budget = None; target = None })
     in
     match (field "truncated" fields, field "complete" fields) with
     | Some _, _ -> Error "__skip_truncated"
@@ -628,6 +628,38 @@ let check_durability (o : Oracle.t) (case : Case.t) =
   | Error msg -> Fail msg
 
 (* ------------------------------------------------------------------ *)
+(* 9. Rewriting targets agree: UCQ backend ≡ Datalog backend            *)
+
+(* Pattern exploration visits the same piece-step space as the UCQ
+   rewriter, so the caps mirror [bounded_rewrite_config]'s scale; hitting
+   one degrades to a skip. *)
+let bounded_datalog_config =
+  { Tgd_rewrite.Datalog_rw.max_patterns = 2_000; Tgd_rewrite.Datalog_rw.max_body_atoms = 8 }
+
+(* Both backends implement the same piece-rewriting theory, so whenever
+   both report Complete their certain answers must coincide exactly — on
+   any generated case, with no class gating: completeness of the
+   terminated piece fixpoint does not depend on the classifier. *)
+let check_rewrite_target (o : Oracle.t) (case : Case.t) =
+  let p = case.Case.program and q = case.Case.query in
+  let rw = o.Oracle.rewrite ~config:bounded_rewrite_config p q in
+  if not (complete rw) then Skip "UCQ rewriting budget hit"
+  else begin
+    let dl = o.Oracle.rewrite_datalog ~config:bounded_datalog_config p q in
+    match dl.Tgd_rewrite.Datalog_rw.outcome with
+    | Tgd_rewrite.Datalog_rw.Truncated _ -> Skip "Datalog rewriting budget hit"
+    | Tgd_rewrite.Datalog_rw.Complete ->
+      let inst = Case.instance case in
+      let via_ucq = o.Oracle.eval_ucq inst rw.Tgd_rewrite.Rewrite.ucq in
+      let via_datalog = o.Oracle.datalog_answers dl inst in
+      if tuples_equal via_ucq via_datalog then Pass
+      else
+        Fail
+          (Printf.sprintf "UCQ target gives %s but Datalog target gives %s"
+             (show_tuples via_ucq) (show_tuples via_datalog))
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -672,6 +704,12 @@ let all =
       describe =
         "persist (WAL and/or snapshot) then recover leaves answers, epochs, facts and materialization unchanged";
       check = check_durability;
+    };
+    {
+      name = "rewrite-target";
+      describe =
+        "UCQ and Datalog rewriting backends give identical certain answers where both complete";
+      check = check_rewrite_target;
     };
   ]
 

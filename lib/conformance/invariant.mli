@@ -1,6 +1,6 @@
 (** The registry of cross-layer conformance invariants.
 
-    Seven invariant classes, each a metamorphic or differential statement
+    Nine invariant classes, each a metamorphic or differential statement
     the paper (or the serving architecture) promises:
 
     - {b subsumption}: the classifier lattice holds — linear ⊆ multilinear ⊆
@@ -26,7 +26,15 @@
       incremental chase ({!Tgd_chase.Delta_chase}) yields, after every
       batch, the same certain answers, the same null-free facts, and a
       model hom-equivalent in both directions to a from-scratch chase of
-      the accumulated facts.
+      the accumulated facts;
+    - {b durability}: persisting through the WAL and/or a snapshot and
+      recovering into a fresh server changes no observable — answers,
+      epochs, null-free facts, materialization;
+    - {b rewrite-target}: the UCQ and the shared-pattern Datalog rewriting
+      backends ({!Tgd_rewrite.Rewrite} vs {!Tgd_rewrite.Datalog_rw})
+      compute identical certain answers on every case where both report a
+      complete artifact — no class gating, since a terminated piece
+      fixpoint is complete regardless of the classifier's verdict.
 
     Every check consults the stack only through an {!Oracle.t}, so a fault
     injected into one oracle field must be caught by the corresponding

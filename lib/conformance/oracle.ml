@@ -25,6 +25,9 @@ type t = {
     Tgd_db.Instance.t ->
     Tgd_db.Instance.fact list ->
     Tgd_chase.Delta_chase.stats;
+  rewrite_datalog :
+    config:Tgd_rewrite.Datalog_rw.config -> Program.t -> Cq.t -> Tgd_rewrite.Datalog_rw.result;
+  datalog_answers : Tgd_rewrite.Datalog_rw.result -> Tgd_db.Instance.t -> Tgd_db.Tuple.t list;
   canon_key : Cq.t -> string;
   serve_handle :
     Tgd_serve.Server.t ->
@@ -75,6 +78,8 @@ let real =
     delta_apply =
       (fun ~max_rounds ~max_facts p inst batch ->
         Tgd_chase.Delta_chase.apply ~gov:(governed ~max_rounds ~max_facts) p inst batch);
+    rewrite_datalog = (fun ~config p q -> Tgd_rewrite.Datalog_rw.rewrite ~config p q);
+    datalog_answers = (fun r inst -> Tgd_obda.Target.datalog_answers r inst);
     canon_key = (fun q -> (Tgd_serve.Canon.of_cq q).Tgd_serve.Canon.key);
     serve_handle = (fun server req -> Tgd_serve.Server.handle server req);
   }

@@ -41,6 +41,13 @@ type t = {
     Tgd_chase.Delta_chase.stats;
       (** the incremental chase: extend a previously chased [inst] {e in
           place} with an insert batch ({!Tgd_chase.Delta_chase.apply}) *)
+  rewrite_datalog :
+    config:Tgd_rewrite.Datalog_rw.config -> Program.t -> Cq.t -> Tgd_rewrite.Datalog_rw.result;
+      (** the shared-pattern Datalog rewriting backend *)
+  datalog_answers : Tgd_rewrite.Datalog_rw.result -> Tgd_db.Instance.t -> Tgd_db.Tuple.t list;
+      (** saturate a copy of the instance under the Datalog rewriting and
+          read off the goal's null-free answers (certain-answer semantics,
+          same contract as {!eval_ucq}) *)
   canon_key : Cq.t -> string;
       (** the prepared-cache canonical key: must be invariant under
           consistent variable renaming and body reordering *)

@@ -16,7 +16,7 @@ let head_tuple env (a : Atom.t) =
         | None -> invalid_arg "Datalog: unbound head variable"))
     a.Atom.args
 
-let saturate ?max_rounds program inst =
+let saturate ?gov ?max_rounds program inst =
   let rules = Program.tgds program in
   List.iter
     (fun r ->
@@ -30,7 +30,7 @@ let saturate ?max_rounds program inst =
   let apply_rule ~delta (r : Tgd.t) ~emit =
     let fire env = List.iter (fun h -> emit h.Atom.pred (head_tuple env h)) r.Tgd.head in
     match delta with
-    | None -> Eval.bindings inst r.Tgd.body fire
+    | None -> Eval.bindings ?gov inst r.Tgd.body fire
     | Some delta ->
       (* Semi-naive: at least one body atom must match a delta fact; run one
          pass per body-atom position forced into the delta. *)
@@ -38,7 +38,7 @@ let saturate ?max_rounds program inst =
         (fun i (a : Atom.t) ->
           match Symbol.Table.find_opt delta a.Atom.pred with
           | None | Some [] -> ()
-          | Some tuples -> Eval.bindings ~forced:(i, tuples) inst r.Tgd.body fire)
+          | Some tuples -> Eval.bindings ?gov ~forced:(i, tuples) inst r.Tgd.body fire)
         r.Tgd.body
   in
   let run_round ~delta =
@@ -53,11 +53,21 @@ let saturate ?max_rounds program inst =
     List.iter (fun r -> apply_rule ~delta r ~emit) rules;
     next_delta
   in
-  let continue_ () = match max_rounds with None -> true | Some m -> !rounds < m in
+  let live () =
+    match gov with
+    | None -> true
+    | Some g ->
+      Tgd_exec.Governor.gauge g Tgd_exec.Budget.key_rewrite_datalog_facts !derived;
+      Tgd_exec.Governor.live g
+  in
+  let continue_ () =
+    live () && match max_rounds with None -> true | Some m -> !rounds < m
+  in
   let delta = ref (run_round ~delta:None) in
   rounds := 1;
   while Symbol.Table.length !delta > 0 && continue_ () do
     delta := run_round ~delta:(Some !delta);
     incr rounds
   done;
+  ignore (live ());
   { rounds = !rounds; derived = !derived }

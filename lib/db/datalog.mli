@@ -9,9 +9,14 @@ type stats = {
   derived : int;  (** facts added on top of the input instance *)
 }
 
-val saturate : ?max_rounds:int -> Program.t -> Instance.t -> stats
+val saturate :
+  ?gov:Tgd_exec.Governor.t -> ?max_rounds:int -> Program.t -> Instance.t -> stats
 (** Extend the instance in place with every derivable fact. Raises
     [Invalid_argument] if some rule has an existential head variable.
     [max_rounds] (default unlimited) caps the number of semi-naive rounds;
     Datalog saturation always terminates, the cap exists for experiment
-    harnesses. *)
+    harnesses. When [gov] is given, join search charges
+    {!Tgd_exec.Budget.key_eval_steps}, the derived-fact count is gauged
+    against {!Tgd_exec.Budget.key_rewrite_datalog_facts}, and the loop winds
+    down at the end of the current round once the governor stops — the
+    instance then holds a sound under-approximation of the fixpoint. *)

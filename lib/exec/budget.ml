@@ -7,6 +7,9 @@ type t = {
   rewrite_cqs : int option;
   rewrite_expansions : int option;
   rewrite_depth : int option;
+  rewrite_datalog_patterns : int option;
+  rewrite_datalog_rules : int option;
+  rewrite_datalog_facts : int option;
   containment_checks : int option;
   eval_steps : int option;
   deadline_s : float option;
@@ -22,6 +25,9 @@ let unlimited =
     rewrite_cqs = None;
     rewrite_expansions = None;
     rewrite_depth = None;
+    rewrite_datalog_patterns = None;
+    rewrite_datalog_rules = None;
+    rewrite_datalog_facts = None;
     containment_checks = None;
     eval_steps = None;
     deadline_s = None;
@@ -35,6 +41,9 @@ let key_chase_delta_facts = "chase.delta.facts"
 let key_rewrite_cqs = "rewrite.cqs"
 let key_rewrite_expansions = "rewrite.expansions"
 let key_rewrite_depth = "rewrite.depth"
+let key_rewrite_datalog_patterns = "rewrite.datalog.patterns"
+let key_rewrite_datalog_rules = "rewrite.datalog.rules"
+let key_rewrite_datalog_facts = "rewrite.datalog.facts"
 let key_containment_checks = "containment.checks"
 let key_eval_steps = "eval.steps"
 
@@ -47,6 +56,9 @@ let limit t key =
   else if String.equal key key_rewrite_cqs then t.rewrite_cqs
   else if String.equal key key_rewrite_expansions then t.rewrite_expansions
   else if String.equal key key_rewrite_depth then t.rewrite_depth
+  else if String.equal key key_rewrite_datalog_patterns then t.rewrite_datalog_patterns
+  else if String.equal key key_rewrite_datalog_rules then t.rewrite_datalog_rules
+  else if String.equal key key_rewrite_datalog_facts then t.rewrite_datalog_facts
   else if String.equal key key_containment_checks then t.containment_checks
   else if String.equal key key_eval_steps then t.eval_steps
   else None
@@ -63,6 +75,10 @@ let set t key v =
   | "rewrite.cqs" | "cqs" -> Ok { t with rewrite_cqs = Some v }
   | "rewrite.expansions" | "expansions" -> Ok { t with rewrite_expansions = Some v }
   | "rewrite.depth" | "depth" -> Ok { t with rewrite_depth = Some v }
+  | "rewrite.datalog.patterns" | "datalog.patterns" | "patterns" ->
+    Ok { t with rewrite_datalog_patterns = Some v }
+  | "rewrite.datalog.rules" | "datalog.rules" -> Ok { t with rewrite_datalog_rules = Some v }
+  | "rewrite.datalog.facts" | "datalog.facts" -> Ok { t with rewrite_datalog_facts = Some v }
   | "containment.checks" | "checks" -> Ok { t with containment_checks = Some v }
   | "eval.steps" | "steps" -> Ok { t with eval_steps = Some v }
   | _ -> Error (Printf.sprintf "unknown budget key %S" key)
@@ -102,6 +118,9 @@ let to_string t =
       (key_rewrite_cqs, t.rewrite_cqs);
       (key_rewrite_expansions, t.rewrite_expansions);
       (key_rewrite_depth, t.rewrite_depth);
+      (key_rewrite_datalog_patterns, t.rewrite_datalog_patterns);
+      (key_rewrite_datalog_rules, t.rewrite_datalog_rules);
+      (key_rewrite_datalog_facts, t.rewrite_datalog_facts);
       (key_containment_checks, t.containment_checks);
       (key_eval_steps, t.eval_steps);
     ]

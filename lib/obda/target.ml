@@ -1,0 +1,71 @@
+open Tgd_db
+open Tgd_rewrite
+
+type t =
+  | Ucq
+  | Datalog
+  | Auto
+
+let of_string = function
+  | "ucq" -> Ok Ucq
+  | "datalog" -> Ok Datalog
+  | "auto" -> Ok Auto
+  | s -> Error (Printf.sprintf "unknown rewriting target %S (expected ucq, datalog or auto)" s)
+
+let to_string = function Ucq -> "ucq" | Datalog -> "datalog" | Auto -> "auto"
+
+type artifact =
+  | Ucq_rewriting of Rewrite.result
+  | Datalog_rewriting of Datalog_rw.result
+
+let artifact_kind = function Ucq_rewriting _ -> "ucq" | Datalog_rewriting _ -> "datalog"
+
+let complete = function
+  | Ucq_rewriting r -> (match r.Rewrite.outcome with Rewrite.Complete -> true | _ -> false)
+  | Datalog_rewriting r -> (
+    match r.Datalog_rw.outcome with Datalog_rw.Complete -> true | _ -> false)
+
+let choose (report : Tgd_core.Classifier.report) =
+  (* Existential-free rule sets are plain Datalog: the UCQ rewriter unfolds
+     recursion into an unbounded union while the Datalog target captures it
+     finitely, so they dispatch to Datalog. Everything else starts on the
+     UCQ path — when it truncates, [prepare] falls back to Datalog. *)
+  if report.Tgd_core.Classifier.datalog then Datalog else Ucq
+
+let resolve target program =
+  match target with
+  | Ucq -> Ucq
+  | Datalog -> Datalog
+  | Auto -> choose (Tgd_core.Classifier.classify program)
+
+let prepare ?ucq_config ?datalog_config ~gov target program q =
+  let run_ucq () = Ucq_rewriting (Rewrite.ucq ?config:ucq_config ~gov:(gov ()) program q) in
+  let run_datalog () =
+    Datalog_rewriting (Datalog_rw.rewrite ?config:datalog_config ~gov:(gov ()) program q)
+  in
+  match target with
+  | Ucq -> run_ucq ()
+  | Datalog -> run_datalog ()
+  | Auto ->
+    let first, second =
+      match resolve Auto program with
+      | Ucq -> (run_ucq, run_datalog)
+      | Datalog | Auto -> (run_datalog, run_ucq)
+    in
+    let a = first () in
+    if complete a then a
+    else
+      let b = second () in
+      if complete b then b else a
+
+let null_free = List.filter (fun t -> not (Tuple.has_null t))
+
+let datalog_answers ?gov (r : Datalog_rw.result) inst =
+  let work = Instance.copy inst in
+  let _stats = Datalog.saturate ?gov r.Datalog_rw.program work in
+  null_free (Eval.cq ?gov work (Datalog_rw.goal_query r))
+
+let answers ?gov artifact inst =
+  match artifact with
+  | Ucq_rewriting r -> null_free (Eval.ucq ?gov inst r.Rewrite.ucq)
+  | Datalog_rewriting r -> datalog_answers ?gov r inst

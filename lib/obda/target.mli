@@ -1,0 +1,71 @@
+(** Rewriting-target dispatch: UCQ vs Datalog, per ontology.
+
+    The system carries two rewriting backends — the classic UCQ rewriter
+    ({!Tgd_rewrite.Rewrite}) and the shared-pattern Datalog rewriter
+    ({!Tgd_rewrite.Datalog_rw}). This module is the single place that picks
+    between them: the [--target] knob of [obda rewrite|answer|serve] parses
+    into {!t}, [Auto] consults the classifier ({!choose}), and {!prepare}
+    implements the fallback policy (an [Auto] preparation that truncates on
+    its preferred backend retries the other). *)
+
+open Tgd_logic
+open Tgd_db
+open Tgd_rewrite
+
+type t =
+  | Ucq  (** always rewrite into a union of conjunctive queries *)
+  | Datalog  (** always rewrite into a Datalog program *)
+  | Auto  (** classifier-dispatched, with truncation fallback *)
+
+val of_string : string -> (t, string) result
+(** Parses ["ucq"], ["datalog"], ["auto"]. *)
+
+val to_string : t -> string
+
+(** A prepared rewriting of either kind. *)
+type artifact =
+  | Ucq_rewriting of Rewrite.result
+  | Datalog_rewriting of Datalog_rw.result
+
+val artifact_kind : artifact -> string
+(** ["ucq"] or ["datalog"] — the spelling used in serve responses. *)
+
+val complete : artifact -> bool
+(** Whether the rewriting reached its fixpoint (no truncation). *)
+
+val choose : Tgd_core.Classifier.report -> t
+(** The classifier policy behind [Auto]: existential-free (plain Datalog)
+    rule sets dispatch to [Datalog] — their UCQ rewriting unfolds recursion
+    into an unbounded union — and everything else starts on [Ucq]. Never
+    returns [Auto]. *)
+
+val resolve : t -> Program.t -> t
+(** [resolve target program] is [target] unless it is [Auto], in which case
+    the program is classified and {!choose} decides. *)
+
+val prepare :
+  ?ucq_config:Rewrite.config ->
+  ?datalog_config:Datalog_rw.config ->
+  gov:(unit -> Tgd_exec.Governor.t) ->
+  t ->
+  Program.t ->
+  Cq.t ->
+  artifact
+(** Rewrite the query for the given target. [gov] must produce a fresh
+    governor per attempt (a tripped governor stays tripped); [Auto] runs
+    the {!resolve}d backend first and falls back to the other when the
+    first truncates, keeping the first (sound, truncated) artifact only if
+    the fallback also truncates. *)
+
+val datalog_answers :
+  ?gov:Tgd_exec.Governor.t -> Datalog_rw.result -> Instance.t -> Tuple.t list
+(** Certain answers through a Datalog artifact: saturate the rewritten
+    program over a copy-on-write copy of the instance
+    ({!Tgd_db.Datalog.saturate} — the input instance is never mutated),
+    read the goal relation back, and drop tuples containing labeled nulls.
+    Deduplicated and sorted; a governed run yields a sound subset. *)
+
+val answers : ?gov:Tgd_exec.Governor.t -> artifact -> Instance.t -> Tuple.t list
+(** Certain answers through either artifact kind: {!Tgd_db.Eval.ucq} plus
+    null filtering for [Ucq_rewriting], {!datalog_answers} for
+    [Datalog_rewriting]. *)

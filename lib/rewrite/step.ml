@@ -1,0 +1,44 @@
+open Tgd_logic
+
+let factorizations (q : Cq.t) =
+  let atoms = Array.of_list q.Cq.body in
+  let n = Array.length atoms in
+  let acc = ref [] in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      if Symbol.equal atoms.(i).Atom.pred atoms.(j).Atom.pred then
+        match Unify.mgu atoms.(i) atoms.(j) with
+        | None -> ()
+        | Some s ->
+          (* [Cq.apply] may leave duplicate atoms in the merged body; the
+             canonicalization every candidate goes through dedups them. *)
+          acc := Cq.apply s q :: !acc
+    done
+  done;
+  !acc
+
+let index_rules program =
+  let index = Symbol.Table.create 16 in
+  List.iter
+    (fun (r : Tgd.t) ->
+      match r.Tgd.head with
+      | [ h ] ->
+        let existing = Option.value ~default:[] (Symbol.Table.find_opt index h.Atom.pred) in
+        Symbol.Table.replace index h.Atom.pred (r :: existing)
+      | _ -> invalid_arg "Rewrite: program must be single-head normalized")
+    (Program.tgds program);
+  index
+
+let rewrite_steps index (q : Cq.t) =
+  let preds =
+    List.fold_left (fun acc (a : Atom.t) -> Symbol.Set.add a.Atom.pred acc) Symbol.Set.empty q.Cq.body
+  in
+  Symbol.Set.fold
+    (fun pred acc ->
+      match Symbol.Table.find_opt index pred with
+      | None -> acc
+      | Some rules ->
+        List.fold_left
+          (fun acc rule -> List.rev_append (List.map (fun pu -> Piece.apply q pu) (Piece.all q rule)) acc)
+          acc rules)
+    preds []

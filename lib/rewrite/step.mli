@@ -1,0 +1,23 @@
+(** One-step rewriting operations shared by the UCQ rewriter ({!Rewrite})
+    and the Datalog rewriter ({!Datalog_rw}).
+
+    Both rewriters explore the same step relation — piece-unifier rewriting
+    steps plus factorizations — and differ only in what they do with each
+    derived CQ: the UCQ rewriter keeps it as a disjunct, the Datalog
+    rewriter decomposes it into shared intensional patterns. *)
+
+open Tgd_logic
+
+val factorizations : Cq.t -> Cq.t list
+(** Factorizations of a CQ: for every unifiable pair of same-predicate body
+    atoms, the specialisation that merges them. The merged body may contain
+    duplicate atoms; callers canonicalize ({!Cq.canonical}) to dedup. *)
+
+val index_rules : Program.t -> Tgd.t list Symbol.Table.t
+(** Rules indexed by head predicate: a rule is only relevant to a CQ whose
+    body mentions that predicate. Raises [Invalid_argument] unless the
+    program is single-head normalized. *)
+
+val rewrite_steps : Tgd.t list Symbol.Table.t -> Cq.t -> Cq.t list
+(** Every one-step piece rewriting of the query with a relevant rule from
+    the index ({!Piece.all} / {!Piece.apply}). *)

@@ -1,12 +1,20 @@
 open Tgd_logic
 
+type artifact =
+  | Ucq of {
+      ucq : Cq.ucq;
+      plans : Tgd_db.Plan.t list;
+    }
+  | Datalog of Tgd_rewrite.Datalog_rw.result
+
+let artifact_kind = function Ucq _ -> "ucq" | Datalog _ -> "datalog"
+
 type entry = {
   ontology : string;
   epoch : int;
   canon : Canon.t;
-  ucq : Cq.ucq;
+  artifact : artifact;
   complete : bool;
-  plans : Tgd_db.Plan.t list;
   prepare_s : float;
 }
 

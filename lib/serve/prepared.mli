@@ -1,13 +1,16 @@
 (** The prepared-query store: an LRU cache from (ontology name, epoch,
-    canonical CQ key) to the query's computed UCQ rewriting and compiled
-    eval plans.
+    canonical CQ key) to the query's computed rewriting artifact — a UCQ
+    with compiled eval plans, or a Datalog program with its goal.
 
-    Soundness of the key (see DESIGN.md "Serving layer"): a UCQ rewriting
-    depends only on the ontology and the query — never on the data — so
-    for a fixed ontology epoch the rewriting cached under a canonical CQ
-    key answers every α-equivalent resubmission. Data and ontology updates
-    bump the registry epoch, which changes the key, so stale entries can
-    never be hit; {!purge} additionally frees them eagerly.
+    Soundness of the key (see DESIGN.md "Serving layer"): a rewriting of
+    either kind depends only on the ontology and the query — never on the
+    data — so for a fixed ontology epoch the artifact cached under a
+    canonical CQ key answers every α-equivalent resubmission. Data and
+    ontology updates bump the registry epoch, which changes the key, so
+    stale entries can never be hit; {!purge} additionally frees them
+    eagerly. Both artifact kinds live under the {e same} key: a query
+    re-prepared under a different target replaces the stored entry rather
+    than sitting beside it (the server treats a kind mismatch as a miss).
 
     All operations are safe from any domain (one mutex around the
     hash-table + intrusive LRU list); hit/miss/eviction counts are charged
@@ -16,13 +19,24 @@
 
 open Tgd_logic
 
+type artifact =
+  | Ucq of {
+      ucq : Cq.ucq;  (** the UCQ rewriting of the canonical CQ *)
+      plans : Tgd_db.Plan.t list;  (** one static join plan per disjunct *)
+    }
+  | Datalog of Tgd_rewrite.Datalog_rw.result
+      (** the Datalog rewriting; evaluated by saturating a copy of the
+          instance and reading off the goal predicate *)
+
+val artifact_kind : artifact -> string
+(** ["ucq"] or ["datalog"] — the value of the ["artifact"] response field. *)
+
 type entry = {
   ontology : string;
   epoch : int;
   canon : Canon.t;
-  ucq : Cq.ucq;  (** the UCQ rewriting of the canonical CQ *)
+  artifact : artifact;
   complete : bool;  (** whether the rewriting reached its fixpoint *)
-  plans : Tgd_db.Plan.t list;  (** one static join plan per disjunct *)
   prepare_s : float;  (** wall-clock cost of the original preparation *)
 }
 

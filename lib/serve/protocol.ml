@@ -20,11 +20,13 @@ type request =
   | Prepare of {
       ontology : string;
       query : string;
+      target : string option;
     }
   | Execute of {
       ontology : string;
       query : string;
       budget : string option;
+      target : string option;
     }
   | Stats
   | Ping
@@ -74,11 +76,18 @@ let request_of j =
   | "prepare" ->
     let* ontology = required "ontology" j in
     let* query = required "query" j in
-    Ok (Prepare { ontology; query })
+    Ok (Prepare { ontology; query; target = Json.string_field "target" j })
   | "execute" ->
     let* ontology = required "ontology" j in
     let* query = required "query" j in
-    Ok (Execute { ontology; query; budget = Json.string_field "budget" j })
+    Ok
+      (Execute
+         {
+           ontology;
+           query;
+           budget = Json.string_field "budget" j;
+           target = Json.string_field "target" j;
+         })
   | "stats" -> Ok Stats
   | "ping" -> Ok Ping
   | "shutdown" -> Ok Shutdown

@@ -15,6 +15,7 @@
       {"op":"snapshot","id":9,"name":"uni"}
       {"op":"prepare","id":3,"ontology":"uni","query":"q(X) :- person(X)."}
       {"op":"execute","id":4,"ontology":"uni","query":"q(X) :- person(X).","budget":"deadline=0.5"}
+      {"op":"execute","id":5,"ontology":"uni","query":"q(X) :- person(X).","target":"datalog"}
       {"op":"stats","id":5}
       {"op":"shutdown","id":6}
     v}
@@ -49,12 +50,19 @@ type request =
   | Prepare of {
       ontology : string;
       query : string;
+      target : string option;
     }
+      (** [target] selects the rewriting backend for this request —
+          ["ucq"], ["datalog"] or ["auto"] — overriding the server's
+          default; an unknown value is a [bad_request]. Responses carry
+          the realized backend in their ["artifact"] field (also on cache
+          hits, which report the kind of the stored artifact). *)
   | Execute of {
       ontology : string;
       query : string;
       budget : string option;
-    }
+      target : string option;
+    }  (** same [target] semantics as {!constructor:Prepare} *)
   | Stats
   | Ping
   | Shutdown

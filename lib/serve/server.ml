@@ -6,6 +6,7 @@ type t = {
   telemetry : Tgd_exec.Telemetry.t;
   base_budget : Tgd_exec.Budget.t;
   config : Tgd_rewrite.Rewrite.config;
+  target : Tgd_obda.Target.t;  (* default rewriting backend; per-request override *)
   eval_workers : int;
   eval_partitions : int option;
   eval_pool : Tgd_exec.Pool.t option;
@@ -23,8 +24,8 @@ let default_budget =
 (* The state constructor; the public [create] additionally runs durable-
    store recovery (defined below the request handlers it reuses). *)
 let make ?(cache_capacity = 1024) ?(base_budget = default_budget)
-    ?(config = Tgd_rewrite.Rewrite.default_config) ?(eval_workers = 1) ?eval_partitions ?store
-    ?(checkpoint_every = 0) () =
+    ?(config = Tgd_rewrite.Rewrite.default_config) ?(target = Tgd_obda.Target.Ucq)
+    ?(eval_workers = 1) ?eval_partitions ?store ?(checkpoint_every = 0) () =
   if eval_workers <= 0 then invalid_arg "Server.create: eval_workers must be positive";
   (match eval_partitions with
   | Some p when p < 1 -> invalid_arg "Server.create: eval_partitions must be positive"
@@ -43,6 +44,7 @@ let make ?(cache_capacity = 1024) ?(base_budget = default_budget)
     base_budget;
     (* Workers must not spawn nested domain pools for UCQ minimization. *)
     config = { config with Tgd_rewrite.Rewrite.domains = Some 1 };
+    target;
     eval_workers;
     eval_partitions;
     eval_pool =
@@ -97,31 +99,66 @@ let budget_of t spec =
   | None -> Ok t.base_budget
   | Some spec -> Tgd_exec.Budget.of_string ~base:t.base_budget spec
 
+(* A cached artifact satisfies the request when the target accepts its
+   kind: [auto] takes whatever is stored (both kinds are sound and, when
+   complete, exact), a pinned target only its own. A kind mismatch is
+   handled as a miss — the fresh artifact then replaces the stored one
+   under the same key. *)
+let hit_serves target (prepared : Prepared.entry) =
+  match target, prepared.Prepared.artifact with
+  | Tgd_obda.Target.Auto, _ -> true
+  | Tgd_obda.Target.Ucq, Prepared.Ucq _ -> true
+  | Tgd_obda.Target.Datalog, Prepared.Datalog _ -> true
+  | (Tgd_obda.Target.Ucq | Tgd_obda.Target.Datalog), _ -> false
+
 (* Prepare = cache lookup, or rewrite + plan + insert. Returns the entry
    and whether it came from the cache. Charges the per-request governor on
    the miss path only: a warm hit never touches the rewriter. *)
-let prepare_entry t (entry : Registry.entry) canon gov =
-  match Prepared.find t.cache ~ontology:entry.Registry.name ~epoch:entry.Registry.epoch ~canon with
-  | Some prepared -> (prepared, true)
-  | None ->
+let prepare_entry t (entry : Registry.entry) canon target gov_of =
+  let miss =
+    match
+      Prepared.find t.cache ~ontology:entry.Registry.name ~epoch:entry.Registry.epoch ~canon
+    with
+    | Some prepared when hit_serves target prepared -> Ok (prepared, true)
+    | Some _ ->
+      ignore (Tgd_exec.Telemetry.add t.telemetry "serve.cache.kind_misses" 1);
+      Error ()
+    | None -> Error ()
+  in
+  match miss with
+  | Ok hit -> hit
+  | Error () ->
     let t0 = Unix.gettimeofday () in
-    let r = Tgd_rewrite.Rewrite.ucq ~config:t.config ~gov entry.Registry.program canon.Canon.cq in
-    let complete =
-      match r.Tgd_rewrite.Rewrite.outcome with
-      | Tgd_rewrite.Rewrite.Complete -> true
-      | Tgd_rewrite.Rewrite.Truncated _ -> false
-    in
-    let plans =
-      List.map (Tgd_db.Plan.choose entry.Registry.instance) r.Tgd_rewrite.Rewrite.ucq
+    let artifact, complete =
+      match
+        Tgd_obda.Target.prepare ~ucq_config:t.config ~gov:gov_of target entry.Registry.program
+          canon.Canon.cq
+      with
+      | Tgd_obda.Target.Ucq_rewriting r ->
+        let complete =
+          match r.Tgd_rewrite.Rewrite.outcome with
+          | Tgd_rewrite.Rewrite.Complete -> true
+          | Tgd_rewrite.Rewrite.Truncated _ -> false
+        in
+        let plans =
+          List.map (Tgd_db.Plan.choose entry.Registry.instance) r.Tgd_rewrite.Rewrite.ucq
+        in
+        (Prepared.Ucq { ucq = r.Tgd_rewrite.Rewrite.ucq; plans }, complete)
+      | Tgd_obda.Target.Datalog_rewriting r ->
+        let complete =
+          match r.Tgd_rewrite.Datalog_rw.outcome with
+          | Tgd_rewrite.Datalog_rw.Complete -> true
+          | Tgd_rewrite.Datalog_rw.Truncated _ -> false
+        in
+        (Prepared.Datalog r, complete)
     in
     let prepared =
       {
         Prepared.ontology = entry.Registry.name;
         epoch = entry.Registry.epoch;
         canon;
-        ucq = r.Tgd_rewrite.Rewrite.ucq;
+        artifact;
         complete;
-        plans;
         prepare_s = Unix.gettimeofday () -. t0;
       }
     in
@@ -140,59 +177,103 @@ let with_entry t name f =
   | None -> Error ("unknown_ontology", Printf.sprintf "unknown ontology %S" name)
   | Some entry -> f entry
 
-let handle_query t ~ontology ~query ~budget ~eval =
+let handle_query t ~ontology ~query ~budget ~target ~eval =
   with_entry t ontology (fun entry ->
       match parse_query query with
       | Error msg -> Error ("bad_request", msg)
       | Ok q -> (
         match budget_of t budget with
         | Error msg -> Error ("bad_request", "bad budget: " ^ msg)
-        | Ok budget ->
-          let canon = Canon.of_cq q in
-          let request_tele = Tgd_exec.Telemetry.create () in
-          let gov = Tgd_exec.Governor.create ~budget ~telemetry:request_tele () in
-          let prepared, cached = prepare_entry t entry canon gov in
-          let fields =
-            [
-              ("ontology", Json.String entry.Registry.name);
-              ("epoch", Json.Int entry.Registry.epoch);
-              ("cached", Json.Bool cached);
-              ("complete", Json.Bool prepared.Prepared.complete);
-              ("disjuncts", Json.Int (List.length prepared.Prepared.ucq));
-              ("canonical", Json.String (Cq.to_string canon.Canon.cq));
-            ]
-          in
-          let fields =
-            if eval then begin
-              let answers =
-                (* Registry instances are sealed on install, so this runs
-                   the compiled columnar engine at any worker count. *)
-                Tgd_db.Par_eval.ucq ~gov ?pool:t.eval_pool ~workers:t.eval_workers
-                  ?partitions:t.eval_partitions entry.Registry.instance prepared.Prepared.ucq
-                |> List.filter (fun tup -> not (Tgd_db.Tuple.has_null tup))
-              in
-              let exact =
-                prepared.Prepared.complete && Tgd_exec.Governor.stopped gov = None
-              in
-              fields
-              @ [
-                  ("answers", Json.List (List.map json_tuple answers));
-                  ("exact", Json.Bool exact);
+        | Ok budget -> (
+          match
+            match target with
+            | None -> Ok t.target
+            | Some s -> Tgd_obda.Target.of_string s
+          with
+          | Error msg -> Error ("bad_request", "bad target: " ^ msg)
+          | Ok target ->
+            let t_req = Unix.gettimeofday () in
+            let canon = Canon.of_cq q in
+            let request_tele = Tgd_exec.Telemetry.create () in
+            let fresh () = Tgd_exec.Governor.create ~budget ~telemetry:request_tele () in
+            (* One governor spans rewrite + eval on the common single-attempt
+               path; only an [auto] fallback re-arms a fresh one (the first
+               attempt's stop is latched), which then also governs eval. *)
+            let gov = ref (fresh ()) in
+            let first = ref true in
+            let gov_of () =
+              if !first then begin
+                first := false;
+                !gov
+              end
+              else begin
+                let g = fresh () in
+                gov := g;
+                g
+              end
+            in
+            let prepared, cached = prepare_entry t entry canon target gov_of in
+            let gov = !gov in
+            let artifact_fields =
+              match prepared.Prepared.artifact with
+              | Prepared.Ucq { ucq; _ } -> [ ("disjuncts", Json.Int (List.length ucq)) ]
+              | Prepared.Datalog r ->
+                [
+                  ("patterns", Json.Int r.Tgd_rewrite.Datalog_rw.stats.Tgd_rewrite.Datalog_rw.patterns);
+                  ("rules", Json.Int r.Tgd_rewrite.Datalog_rw.stats.Tgd_rewrite.Datalog_rw.rules);
+                  ("nonrecursive", Json.Bool r.Tgd_rewrite.Datalog_rw.nonrecursive);
                 ]
-            end
-            else fields
-          in
-          let fields =
-            match Tgd_exec.Governor.stopped gov with
-            | None -> fields
-            | Some reason ->
-              fields
-              @ [ ("truncated", Json.String (Tgd_exec.Governor.stop_reason_to_string reason)) ]
-          in
-          let fields = fields @ [ ("wall_s", Json.Float (Tgd_exec.Governor.elapsed_s gov)) ] in
-          Tgd_exec.Telemetry.merge_into ~into:t.telemetry request_tele;
-          ignore (Tgd_exec.Telemetry.add t.telemetry "serve.requests" 1);
-          Ok fields))
+            in
+            let fields =
+              [
+                ("ontology", Json.String entry.Registry.name);
+                ("epoch", Json.Int entry.Registry.epoch);
+                ("cached", Json.Bool cached);
+                ("artifact", Json.String (Prepared.artifact_kind prepared.Prepared.artifact));
+                ("complete", Json.Bool prepared.Prepared.complete);
+              ]
+              @ artifact_fields
+              @ [ ("canonical", Json.String (Cq.to_string canon.Canon.cq)) ]
+            in
+            let fields =
+              if eval then begin
+                let answers =
+                  match prepared.Prepared.artifact with
+                  | Prepared.Ucq { ucq; _ } ->
+                    (* Registry instances are sealed on install, so this runs
+                       the compiled columnar engine at any worker count. *)
+                    Tgd_db.Par_eval.ucq ~gov ?pool:t.eval_pool ~workers:t.eval_workers
+                      ?partitions:t.eval_partitions entry.Registry.instance ucq
+                    |> List.filter (fun tup -> not (Tgd_db.Tuple.has_null tup))
+                  | Prepared.Datalog r ->
+                    (* Saturates a copy-on-write clone of the instance; the
+                       registry's sealed columns are shared, untouched. *)
+                    Tgd_obda.Target.datalog_answers ~gov r entry.Registry.instance
+                in
+                let exact =
+                  prepared.Prepared.complete && Tgd_exec.Governor.stopped gov = None
+                in
+                fields
+                @ [
+                    ("answers", Json.List (List.map json_tuple answers));
+                    ("exact", Json.Bool exact);
+                  ]
+              end
+              else fields
+            in
+            let fields =
+              match Tgd_exec.Governor.stopped gov with
+              | None -> fields
+              | Some reason ->
+                fields
+                @ [ ("truncated", Json.String (Tgd_exec.Governor.stop_reason_to_string reason)) ]
+            in
+            let fields =
+              fields @ [ ("wall_s", Json.Float (Unix.gettimeofday () -. t_req)) ]
+            in
+            Tgd_exec.Telemetry.merge_into ~into:t.telemetry request_tele;
+            ignore (Tgd_exec.Telemetry.add t.telemetry "serve.requests" 1);
+            Ok fields)))
 
 let registered_fields (entry : Registry.entry) =
   [
@@ -386,10 +467,10 @@ let handle t (request : Protocol.request) =
           | Error e -> Error e)
       in
       go [] names)
-  | Protocol.Prepare { ontology; query } ->
-    handle_query t ~ontology ~query ~budget:None ~eval:false
-  | Protocol.Execute { ontology; query; budget } ->
-    handle_query t ~ontology ~query ~budget ~eval:true
+  | Protocol.Prepare { ontology; query; target } ->
+    handle_query t ~ontology ~query ~budget:None ~target ~eval:false
+  | Protocol.Execute { ontology; query; budget; target } ->
+    handle_query t ~ontology ~query ~budget ~target ~eval:true
   | Protocol.Stats ->
     let counters =
       Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Tgd_exec.Telemetry.counters t.telemetry))
@@ -522,10 +603,10 @@ let recover_store t store =
         ignore (Tgd_exec.Telemetry.add t.telemetry "serve.store.recovered_entries" 1))
     (Tgd_store.Store.recover store)
 
-let create ?cache_capacity ?base_budget ?config ?eval_workers ?eval_partitions ?store
+let create ?cache_capacity ?base_budget ?config ?target ?eval_workers ?eval_partitions ?store
     ?checkpoint_every () =
   let t =
-    make ?cache_capacity ?base_budget ?config ?eval_workers ?eval_partitions ?store
+    make ?cache_capacity ?base_budget ?config ?target ?eval_workers ?eval_partitions ?store
       ?checkpoint_every ()
   in
   Option.iter (recover_store t) t.store;

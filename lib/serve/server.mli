@@ -25,6 +25,7 @@ val create :
   ?cache_capacity:int ->
   ?base_budget:Tgd_exec.Budget.t ->
   ?config:Tgd_rewrite.Rewrite.config ->
+  ?target:Tgd_obda.Target.t ->
   ?eval_workers:int ->
   ?eval_partitions:int ->
   ?store:Tgd_store.Store.t ->
@@ -36,6 +37,13 @@ val create :
     [budget] spec, which is parsed on top of the base. [config] is the
     rewriting configuration; its [domains] field is forced to 1 — worker
     domains must not spawn nested pools.
+
+    [target] (default {!Tgd_obda.Target.Ucq}) is the rewriting backend
+    used when a [prepare]/[execute] request carries no ["target"] field of
+    its own. The prepared cache stores whichever artifact kind a request
+    produced under the same canonical key; a later request whose resolved
+    target does not accept the stored kind re-prepares and replaces it
+    (counted under [serve.cache.kind_misses]).
 
     With [store], the server is durable: creation first {e recovers} the
     registry from the store — per entry, the latest valid snapshot is

@@ -29,7 +29,7 @@ let test_fixed_seed_sweep () =
   let summary = Harness.run ~seed ~cases () in
   if summary.Harness.failed > 0 then Alcotest.fail (Harness.summary_to_string summary);
   Alcotest.(check int) "every case swept" cases summary.Harness.cases;
-  Alcotest.(check int) "eight checks per case" (cases * 8) summary.Harness.checks
+  Alcotest.(check int) "nine checks per case" (cases * 9) summary.Harness.checks
 
 (* ------------------------------------------------------------------ *)
 (* Determinism                                                          *)
@@ -257,6 +257,22 @@ let test_mutant_delta_stale_class () =
   in
   expect_caught ~name:"stale-egd-class" ~invariant:"update-sequence" ~cases:10 mutant
 
+(* A Datalog backend whose saturation misses answers (it drops the last
+   goal tuple): the rewrite-target differential sees the two backends
+   disagree. *)
+let test_mutant_rewrite_target () =
+  let mutant =
+    {
+      Oracle.real with
+      Oracle.datalog_answers =
+        (fun r inst ->
+          match List.rev (Oracle.real.Oracle.datalog_answers r inst) with
+          | [] -> []
+          | _ :: rest -> List.rev rest);
+    }
+  in
+  expect_caught ~name:"dropped-goal-tuple" ~invariant:"rewrite-target" ~cases:40 mutant
+
 (* ------------------------------------------------------------------ *)
 (* Shrinking: a failing case reduces to a minimal reproducer that still
    fails, never grows, and lands in the corpus directory when asked.    *)
@@ -334,6 +350,8 @@ let () =
             test_mutant_delta_skip;
           Alcotest.test_case "update-sequence catches a stale EGD class" `Quick
             test_mutant_delta_stale_class;
+          Alcotest.test_case "rewrite-target catches a lossy Datalog backend" `Quick
+            test_mutant_rewrite_target;
         ] );
       ( "shrinking",
         [

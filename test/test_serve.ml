@@ -188,9 +188,8 @@ let mk_entry tel_ignored ~ontology ~epoch pred =
     Prepared.ontology;
     epoch;
     canon;
-    ucq = [ canon.Canon.cq ];
+    artifact = Prepared.Ucq { ucq = [ canon.Canon.cq ]; plans = [] };
     complete = true;
-    plans = [];
     prepare_s = 0.0;
   }
 
@@ -301,7 +300,7 @@ let boot_server ?cache_capacity csv =
   srv
 
 let execute srv query =
-  ok_fields (Server.handle srv (Protocol.Execute { ontology = "uni"; query; budget = None }))
+  ok_fields (Server.handle srv (Protocol.Execute { ontology = "uni"; query; budget = None; target = None }))
 
 let test_server_warm_cache () =
   let srv = boot_server "professor,alice\nprofessor,bob" in
@@ -409,7 +408,7 @@ let test_server_concurrent_execute () =
             for i = 1 to per_domain do
               let var = Printf.sprintf "V%d_%d" d i in
               let q = Printf.sprintf "q(%s) :- person(%s)." var var in
-              match Server.handle srv (Protocol.Execute { ontology = "uni"; query = q; budget = None }) with
+              match Server.handle srv (Protocol.Execute { ontology = "uni"; query = q; budget = None; target = None }) with
               | Ok fields when answers fields = expected -> ()
               | _ -> ignore (Atomic.fetch_and_add errors 1)
             done))
@@ -439,7 +438,7 @@ let test_server_no_stale_across_bumps () =
                 let q = Printf.sprintf "q(%s) :- person(%s)." var var in
                 match
                   Server.handle srv
-                    (Protocol.Execute { ontology = "uni"; query = q; budget = None })
+                    (Protocol.Execute { ontology = "uni"; query = q; budget = None; target = None })
                 with
                 | Ok fields when answers fields = !expected -> ()
                 | _ -> ignore (Atomic.fetch_and_add errors 1)
@@ -474,14 +473,14 @@ let test_server_no_stale_across_bumps () =
 
 let test_server_errors () =
   let srv = Server.create () in
-  (match Server.handle srv (Protocol.Execute { ontology = "ghost"; query = "q(X) :- p(X)."; budget = None }) with
+  (match Server.handle srv (Protocol.Execute { ontology = "ghost"; query = "q(X) :- p(X)."; budget = None; target = None }) with
   | Error ("unknown_ontology", _) -> ()
   | _ -> Alcotest.fail "expected unknown_ontology");
   ignore
     (ok_fields
        (Server.handle srv
           (Protocol.Register_ontology { name = "uni"; source = Protocol.Inline uni_src })));
-  (match Server.handle srv (Protocol.Execute { ontology = "uni"; query = "not a query"; budget = None }) with
+  (match Server.handle srv (Protocol.Execute { ontology = "uni"; query = "not a query"; budget = None; target = None }) with
   | Error ("bad_request", _) -> ()
   | _ -> Alcotest.fail "expected bad_request on an unparsable query");
   match Protocol.parse {|{"id":42,"op":"execute","ontology":"uni"}|} with
@@ -569,7 +568,7 @@ let test_server_run_fault_stream () =
   Alcotest.(check bool) "trailing ping answered" true (contains output {|"pong":true|});
   (* The server survived the stream. *)
   match
-    Server.handle srv (Protocol.Execute { ontology = "uni"; query = "q(X) :- person(X)."; budget = None })
+    Server.handle srv (Protocol.Execute { ontology = "uni"; query = "q(X) :- person(X)."; budget = None; target = None })
   with
   | Ok _ -> ()
   | Error (kind, msg) -> Alcotest.fail ("server wedged after fault stream: " ^ kind ^ ": " ^ msg)
